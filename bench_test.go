@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/submod"
+	"repro/internal/tpcd"
+	"repro/internal/volcano"
+)
+
+// The benchmarks regenerate the measured quantity of every table/figure in
+// the paper's evaluation: estimated plan costs are reported as custom
+// metrics (cost_s, materialized) so the Figure 4/5 series can be read off
+// `go test -bench`, and wall time per op is the optimization time the
+// paper plots in Figures 4c and 5c.
+
+// runBench optimizes one workload with one strategy b.N times.
+func runBench(b *testing.B, sf float64, batch *logical.Batch, strat core.Strategy) {
+	b.Helper()
+	cat := tpcd.Catalog(sf)
+	var res core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = core.Run(opt, strat)
+	}
+	b.StopTimer()
+	b.ReportMetric(res.Cost/1000, "cost_s")
+	b.ReportMetric(float64(len(res.Materialized)), "materialized")
+}
+
+// BenchmarkExample1 regenerates Example 1 / Figure 1.
+func BenchmarkExample1(b *testing.B) {
+	cat, batch := tpcd.ExampleOneInstance()
+	for _, s := range []core.Strategy{core.Volcano, core.Greedy, core.MarginalGreedy} {
+		b.Run(s.String(), func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = core.Run(opt, s)
+			}
+			b.ReportMetric(res.Cost/1000, "cost_s")
+		})
+	}
+}
+
+// BenchmarkExp1 regenerates Figures 4a/4b (cost_s metric) and 4c
+// (ns/op = optimization time) for the batched TPCD workloads.
+func BenchmarkExp1(b *testing.B) {
+	for _, sf := range []float64{1, 100} {
+		b.Run(fmt.Sprintf("SF%d", int(sf)), func(b *testing.B) {
+			for i := 1; i <= 6; i++ {
+				batch := tpcd.BQ(i)
+				for _, s := range []core.Strategy{core.Volcano, core.Greedy, core.MarginalGreedy} {
+					b.Run(fmt.Sprintf("BQ%d/%s", i, s), func(b *testing.B) {
+						runBench(b, sf, batch, s)
+					})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExp2 regenerates Figures 5a/5b/5c for the stand-alone queries.
+func BenchmarkExp2(b *testing.B) {
+	for _, sf := range []float64{1, 100} {
+		b.Run(fmt.Sprintf("SF%d", int(sf)), func(b *testing.B) {
+			for _, w := range tpcd.StandAlone() {
+				for _, s := range []core.Strategy{core.Volcano, core.Greedy, core.MarginalGreedy} {
+					b.Run(fmt.Sprintf("%s/%s", w.Name, s), func(b *testing.B) {
+						runBench(b, sf, w.Batch, s)
+					})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBound regenerates the Theorem 1 bound validation: MarginalGreedy
+// on Profitted Max Coverage (the Theorem 2 hardness family).
+func BenchmarkBound(b *testing.B) {
+	for _, gamma := range []float64{1, 4, 8} {
+		b.Run(fmt.Sprintf("gamma%g", gamma), func(b *testing.B) {
+			var val float64
+			for i := 0; i < b.N; i++ {
+				p := submod.PlantedInstance(42, 60, 4, 8, 20, gamma)
+				o := submod.NewOracle(p)
+				d := submod.NewDecomposition(o, p.ExplicitCosts())
+				val = submod.MarginalGreedy(d).Value
+			}
+			b.ReportMetric(val, "f_value")
+		})
+	}
+}
+
+// BenchmarkLazyVsEager is the Section 5.2 ablation: LazyMarginalGreedy must
+// produce the same answer with less optimization time on larger universes.
+func BenchmarkLazyVsEager(b *testing.B) {
+	batch := tpcd.BQ(5)
+	for _, s := range []core.Strategy{core.MarginalGreedy, core.LazyMarginalGreedy} {
+		b.Run(s.String(), func(b *testing.B) { runBench(b, 1, batch, s) })
+	}
+}
+
+// BenchmarkIncrementalCache is the Section 5.1 ablation: the cross-call
+// bestCost cache (incremental recomputation) against cold recomputation.
+func BenchmarkIncrementalCache(b *testing.B) {
+	cat := tpcd.Catalog(1)
+	batch := tpcd.BQ(4)
+	for _, inc := range []bool{true, false} {
+		name := "incremental"
+		if !inc {
+			name = "cold"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt.SetIncremental(inc)
+				core.Run(opt, core.MarginalGreedy)
+			}
+		})
+	}
+}
+
+// BenchmarkDAGBuild measures combined-DAG construction and expansion (the
+// part of optimization that is common to every strategy).
+func BenchmarkDAGBuild(b *testing.B) {
+	cat := tpcd.Catalog(1)
+	batch := tpcd.BQ(6)
+	for i := 0; i < b.N; i++ {
+		if _, err := volcano.NewOptimizer(cat, cost.Default(), batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBestCostOracle measures one bc(S) evaluation on a warm searcher,
+// the unit of work all MQO algorithms are built from.
+func BenchmarkBestCostOracle(b *testing.B) {
+	cat := tpcd.Catalog(1)
+	opt, err := volcano.NewOptimizer(cat, cost.Default(), tpcd.BQ(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh := opt.Shareable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := physical.NodeSet{}
+		s[sh[i%len(sh)]] = true
+		opt.BestCost(s)
+	}
+}

@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's evaluation tables: Example 1
+// (Figure 1), the batched TPCD workloads (Figures 4a–4c), the stand-alone
+// TPCD queries (Figures 5a–5c), the Theorem 1 approximation-bound
+// validation, and the Section 5 ablations.
+//
+// Usage:
+//
+//	experiments [-run all|example1|exp1|exp2|bound|ablation|memory|cardinality]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	run := flag.String("run", "all", "which experiment to run: all, example1, exp1, exp2, bound, ablation")
+	flag.Parse()
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	emit := func(t *experiments.Table, err error) {
+		if err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+		fmt.Println(t.String())
+	}
+
+	if want("example1") {
+		emit(experiments.Example1())
+	}
+	if want("exp1") {
+		for _, sf := range []float64{1, 100} {
+			emit(experiments.Experiment1(sf))
+		}
+		emit(experiments.Experiment1Times(1))
+	}
+	if want("exp2") {
+		for _, sf := range []float64{1, 100} {
+			emit(experiments.Experiment2(sf))
+		}
+		emit(experiments.Experiment2Times(1))
+	}
+	if want("bound") {
+		fmt.Println(experiments.BoundValidation().String())
+	}
+	if want("ablation") {
+		emit(experiments.Ablation())
+		emit(experiments.RuleAblation())
+	}
+	if want("memory") {
+		emit(experiments.MemorySweep())
+	}
+	if want("operators") {
+		emit(experiments.ExtendedOperators())
+	}
+	if want("baselines") {
+		emit(experiments.Baselines())
+	}
+	if want("cardinality") {
+		emit(experiments.CardinalityConstraint())
+	}
+	if *run != "all" {
+		switch *run {
+		case "example1", "exp1", "exp2", "bound", "ablation", "memory", "operators", "baselines", "cardinality":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+			os.Exit(2)
+		}
+	}
+}

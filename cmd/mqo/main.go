@@ -1,0 +1,114 @@
+// Command mqo optimizes a batch of SQL-like queries against the TPCD
+// catalog and prints the consolidated plan chosen by the selected MQO
+// strategy.
+//
+// Usage:
+//
+//	mqo [-sf 1] [-algo marginal|greedy|volcano|all] [-file batch.sql]
+//
+// Reads the batch from -file or stdin; statements are separated by
+// semicolons. Example:
+//
+//	echo "SELECT o.orderdate, SUM(l.extendedprice)
+//	      FROM orders o, lineitem l
+//	      WHERE o.orderkey = l.orderkey AND o.orderdate < 1100
+//	      GROUP BY o.orderdate;
+//	      SELECT o.orderdate, SUM(l.extendedprice)
+//	      FROM orders o, lineitem l
+//	      WHERE o.orderkey = l.orderkey AND o.orderdate < 1400
+//	      GROUP BY o.orderdate;" | mqo -algo all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/parser"
+	"repro/internal/tpcd"
+	"repro/internal/volcano"
+)
+
+func main() {
+	log.SetFlags(0)
+	sf := flag.Float64("sf", 1, "TPCD scale factor (1 ≈ 1GB, 100 ≈ 100GB)")
+	algo := flag.String("algo", "marginal", "algorithm: marginal, lazymarginal, greedy, volcano, all")
+	file := flag.String("file", "", "file with the SQL batch (default: stdin)")
+	showPlan := flag.Bool("plan", true, "print the consolidated plan")
+	dot := flag.Bool("dot", false, "emit the combined AND-OR DAG as Graphviz DOT and exit")
+	k := flag.Int("k", 0, "cardinality constraint on materializations (0 = unconstrained)")
+	ext := flag.Bool("hash", false, "enable the extended operator set (hash join, hash aggregation)")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if *file != "" {
+		src, err = os.ReadFile(*file)
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		log.Fatalf("mqo: reading input: %v", err)
+	}
+	batch, err := parser.ParseBatch(string(src))
+	if err != nil {
+		log.Fatalf("mqo: %v", err)
+	}
+	cat := tpcd.Catalog(*sf)
+
+	if *dot {
+		opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+		if err != nil {
+			log.Fatalf("mqo: %v", err)
+		}
+		if err := opt.Memo.WriteDOT(os.Stdout, opt.Shareable()); err != nil {
+			log.Fatalf("mqo: %v", err)
+		}
+		return
+	}
+
+	strategies := map[string][]core.Strategy{
+		"volcano":      {core.Volcano},
+		"greedy":       {core.Greedy},
+		"marginal":     {core.MarginalGreedy},
+		"lazymarginal": {core.LazyMarginalGreedy},
+		"all":          {core.Volcano, core.Greedy, core.MarginalGreedy},
+	}
+	strats, ok := strategies[*algo]
+	if !ok {
+		log.Fatalf("mqo: unknown algorithm %q", *algo)
+	}
+
+	for _, s := range strats {
+		opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+		if err != nil {
+			log.Fatalf("mqo: %v", err)
+		}
+		if *ext {
+			opt.SetExtendedOps(true)
+		}
+		var res core.Result
+		if *k > 0 && s == core.MarginalGreedy {
+			res = core.RunK(opt, *k, true)
+		} else {
+			res = core.Run(opt, s)
+		}
+		fmt.Printf("== %s ==\n", s)
+		fmt.Printf("queries: %d   shareable nodes: %d   materialized: %d\n",
+			len(batch.Queries), len(opt.Shareable()), len(res.Materialized))
+		fmt.Printf("estimated cost: %.1f s (stand-alone Volcano: %.1f s, benefit %.1f s)\n",
+			res.Cost/1000, res.VolcanoCost/1000, res.Benefit/1000)
+		fmt.Printf("optimization time: %v\n", res.OptTime)
+		if *showPlan {
+			plan := opt.Plan(res.MatSet())
+			if err := opt.Searcher.ValidatePlan(plan, res.MatSet()); err != nil {
+				log.Fatalf("mqo: extracted plan failed validation: %v", err)
+			}
+			fmt.Println(plan.String())
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Quickstart: the paper's Example 1. Two queries, (A⋈σB⋈C) and (σB⋈C⋈D),
+// are optimized together; the common subexpression σ(B)⋈C is materialized
+// once and reused, making the consolidated plan cheaper than the two
+// locally optimal plans produced by a conventional optimizer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	cat, batch := tpcd.ExampleOneInstance()
+
+	for _, strategy := range []repro.Strategy{repro.Volcano, repro.Greedy, repro.MarginalGreedy} {
+		res, plan, err := repro.Optimize(cat, batch, strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s cost %7.1f s   materialized %d node(s)   benefit %6.1f s\n",
+			strategy, res.Cost/1000, len(res.Materialized), res.Benefit/1000)
+		if strategy == repro.MarginalGreedy {
+			fmt.Println()
+			fmt.Println(plan.String())
+		}
+	}
+}

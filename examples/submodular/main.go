@@ -1,0 +1,42 @@
+// Submodular: the paper's underlying abstract problem — unconstrained,
+// normalized submodular maximization with possibly negative values — used
+// directly, outside any database context. The example builds Profitted Max
+// Coverage instances (the family from the Theorem 2 hardness proof) with a
+// planted optimum f(Θ)=1 and shows that MarginalGreedy with the
+// Proposition 1 decomposition always clears the Theorem 1 bound
+// [1 − (c(Θ)/f(Θ))·ln(1 + f(Θ)/c(Θ))]·f(Θ).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/submod"
+)
+
+func main() {
+	fmt.Println("Profitted Max Coverage, planted optimum f(Θ)=1, γ = f(Θ)/c(Θ):")
+	fmt.Printf("%6s  %12s  %12s  %12s  %8s\n", "γ", "MarginalG.", "bound", "optimum", "ok")
+	for _, gamma := range []float64{0.25, 0.5, 1, 2, 4, 8, 16} {
+		p := submod.PlantedInstance(2024, 80, 4, 10, 24, gamma)
+		oracle := submod.NewOracle(p)
+
+		// The problem's own decomposition: every set costs 1/(γ·l).
+		d := submod.NewDecomposition(oracle, p.ExplicitCosts())
+		mg := submod.MarginalGreedy(d)
+
+		opt := submod.Exhaustive(oracle)
+		bound := submod.TheoremOneBound(opt.Value, opt.Value/gamma)
+		fmt.Printf("%6.2f  %12.4f  %12.4f  %12.4f  %8v\n",
+			gamma, mg.Value, bound, opt.Value, mg.Value >= bound-1e-9)
+	}
+
+	fmt.Println("\nLazy vs eager MarginalGreedy (identical answers, fewer evaluations):")
+	p := submod.PlantedInstance(7, 120, 6, 20, 30, 4)
+	o1 := submod.NewOracle(p)
+	eager := submod.MarginalGreedy(submod.DecomposeStar(o1))
+	o2 := submod.NewOracle(p)
+	lazy := submod.LazyMarginalGreedy(submod.DecomposeStar(o2))
+	fmt.Printf("  eager: f=%.4f with %d sets, %d oracle calls\n", eager.Value, len(eager.Set), o1.Calls)
+	fmt.Printf("  lazy:  f=%.4f with %d sets, %d oracle calls\n", lazy.Value, len(lazy.Set), o2.Calls)
+	fmt.Printf("  same answer: %v\n", eager.Set.Equal(lazy.Set))
+}

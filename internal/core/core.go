@@ -1,0 +1,210 @@
+// Package core applies the paper's algorithms to multi-query optimization:
+// it exposes the materialization-benefit function mb(S) = bc(∅) − bc(S)
+// over the shareable nodes of a combined AND-OR DAG as a normalized
+// submodular function, and runs the strategies compared in the paper's
+// experiments — stand-alone Volcano (no MQO), the benefit Greedy of Roy et
+// al., the paper's MarginalGreedy (with its Lazy variant), plus a
+// materialize-everything baseline and an exhaustive optimizer for small
+// instances.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/memo"
+	"repro/internal/physical"
+	"repro/internal/submod"
+	"repro/internal/volcano"
+)
+
+// Strategy selects an MQO algorithm.
+type Strategy int
+
+// Strategies.
+const (
+	// Volcano performs no multi-query optimization: every query gets its
+	// locally optimal plan (S = ∅).
+	Volcano Strategy = iota
+	// Greedy is Algorithm 1 (Roy et al. 2000): repeatedly materialize the
+	// node with the largest absolute benefit.
+	Greedy
+	// LazyGreedyStrategy is Greedy with the Minoux heap under the
+	// monotonicity heuristic.
+	LazyGreedyStrategy
+	// MarginalGreedy is the paper's Algorithm 2 with the Proposition 1
+	// decomposition.
+	MarginalGreedy
+	// LazyMarginalGreedy is MarginalGreedy with the Section 5.2 heap.
+	LazyMarginalGreedy
+	// MaterializeAll materializes every shareable node (the heuristic the
+	// paper attributes to Silva et al., noted as potentially "horribly
+	// inefficient").
+	MaterializeAll
+	// Exhaustive enumerates all materialization sets (≤ 20 shareable
+	// nodes).
+	Exhaustive
+	// VolcanoSH shares only subexpressions that appear in the locally
+	// optimal plans (the post-optimization baseline of Subramanian &
+	// Venkataraman / Roy et al.'s Volcano-SH).
+	VolcanoSH
+)
+
+// nowFunc indirects time.Now for the timing bookkeeping.
+var nowFunc = time.Now
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Volcano:
+		return "Volcano"
+	case Greedy:
+		return "Greedy"
+	case LazyGreedyStrategy:
+		return "LazyGreedy"
+	case MarginalGreedy:
+		return "MarginalGreedy"
+	case LazyMarginalGreedy:
+		return "LazyMarginalGreedy"
+	case MaterializeAll:
+		return "MaterializeAll"
+	case Exhaustive:
+		return "Exhaustive"
+	case VolcanoSH:
+		return "Volcano-SH"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Result is the outcome of one MQO run.
+type Result struct {
+	Strategy     Strategy
+	Materialized []memo.GroupID
+	Cost         float64 // bc(S), milliseconds
+	VolcanoCost  float64 // bc(∅), milliseconds
+	Benefit      float64 // mb(S)
+	OptTime      time.Duration
+	OracleCalls  int // memoized-distinct bestCost evaluations
+}
+
+// MatSet returns the materialization set as a physical.NodeSet.
+func (r Result) MatSet() physical.NodeSet {
+	out := physical.NodeSet{}
+	for _, id := range r.Materialized {
+		out[id] = true
+	}
+	return out
+}
+
+// BenefitFunc adapts mb(S) over the optimizer's shareable nodes to the
+// submod.Function interface; element i corresponds to Nodes[i].
+type BenefitFunc struct {
+	Opt   *volcano.Optimizer
+	Nodes []memo.GroupID
+	base  float64
+}
+
+// NewBenefitFunc builds the benefit function (one bc(∅) evaluation).
+func NewBenefitFunc(opt *volcano.Optimizer) *BenefitFunc {
+	return &BenefitFunc{
+		Opt:   opt,
+		Nodes: opt.Shareable(),
+		base:  opt.BestCost(physical.NodeSet{}),
+	}
+}
+
+// N returns the number of shareable nodes.
+func (f *BenefitFunc) N() int { return len(f.Nodes) }
+
+// Base returns bc(∅).
+func (f *BenefitFunc) Base() float64 { return f.base }
+
+// Eval returns mb(S) = bc(∅) − bc(S).
+func (f *BenefitFunc) Eval(s submod.Set) float64 {
+	ns := physical.NodeSet{}
+	for e := range s {
+		ns[f.Nodes[e]] = true
+	}
+	return f.base - f.Opt.BestCost(ns)
+}
+
+// ToNodes converts an element set to group ids (sorted by element index).
+func (f *BenefitFunc) ToNodes(s submod.Set) []memo.GroupID {
+	var out []memo.GroupID
+	for _, e := range s.Sorted() {
+		out = append(out, f.Nodes[e])
+	}
+	return out
+}
+
+// Run executes one strategy against a prepared optimizer and reports the
+// chosen materializations, costs and optimization time.
+func Run(opt *volcano.Optimizer, strat Strategy) Result {
+	if strat == VolcanoSH {
+		return RunVolcanoSH(opt)
+	}
+	start := time.Now()
+	f := NewBenefitFunc(opt)
+	oracle := submod.NewOracle(f)
+	var picked submod.Set
+	switch strat {
+	case Volcano:
+		picked = submod.Set{}
+	case Greedy:
+		picked = submod.Greedy(oracle).Set
+	case LazyGreedyStrategy:
+		picked = submod.LazyGreedy(oracle).Set
+	case MarginalGreedy:
+		d := submod.DecomposeStar(oracle)
+		picked = submod.MarginalGreedy(d).Set
+	case LazyMarginalGreedy:
+		d := submod.DecomposeStar(oracle)
+		picked = submod.LazyMarginalGreedy(d).Set
+	case MaterializeAll:
+		picked = oracle.Universe()
+	case Exhaustive:
+		picked = submod.Exhaustive(oracle).Set
+	default:
+		panic("core: unknown strategy")
+	}
+	nodes := f.ToNodes(picked)
+	res := Result{
+		Strategy:     strat,
+		Materialized: nodes,
+		VolcanoCost:  f.Base(),
+		OptTime:      time.Since(start),
+		OracleCalls:  oracle.Calls,
+	}
+	res.Cost = opt.BestCost(res.MatSet())
+	res.Benefit = res.VolcanoCost - res.Cost
+	return res
+}
+
+// RunK executes the cardinality-constrained MarginalGreedy of Section 5.3:
+// at most k nodes are materialized. With reduce=true the Theorem 4
+// universe-reduction preprocessing runs first; Theorem 4 guarantees the
+// same output either way.
+func RunK(opt *volcano.Optimizer, k int, reduce bool) Result {
+	start := time.Now()
+	f := NewBenefitFunc(opt)
+	oracle := submod.NewOracle(f)
+	d := submod.DecomposeStar(oracle)
+	var r submod.Result
+	if reduce {
+		universe := submod.ReduceUniverse(d, k)
+		r = submod.MarginalGreedyKOn(d, k, universe)
+	} else {
+		r = submod.MarginalGreedyK(d, k)
+	}
+	res := Result{
+		Strategy:     MarginalGreedy,
+		Materialized: f.ToNodes(r.Set),
+		VolcanoCost:  f.Base(),
+		OptTime:      time.Since(start),
+		OracleCalls:  oracle.Calls,
+	}
+	res.Cost = opt.BestCost(res.MatSet())
+	res.Benefit = res.VolcanoCost - res.Cost
+	return res
+}

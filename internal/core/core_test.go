@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/memo"
+	"repro/internal/physical"
+	"repro/internal/submod"
+	"repro/internal/tpcd"
+	"repro/internal/volcano"
+)
+
+func bq2Optimizer(t testing.TB) *volcano.Optimizer {
+	t.Helper()
+	opt, err := volcano.NewOptimizer(tpcd.Catalog(1), cost.Default(), tpcd.BQ(2))
+	if err != nil {
+		t.Fatalf("NewOptimizer: %v", err)
+	}
+	return opt
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{
+		Volcano:            "Volcano",
+		Greedy:             "Greedy",
+		LazyGreedyStrategy: "LazyGreedy",
+		MarginalGreedy:     "MarginalGreedy",
+		LazyMarginalGreedy: "LazyMarginalGreedy",
+		MaterializeAll:     "MaterializeAll",
+		Exhaustive:         "Exhaustive",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d renders %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestAllStrategiesNeverWorseThanVolcano(t *testing.T) {
+	opt := bq2Optimizer(t)
+	v := Run(opt, Volcano)
+	for _, s := range []Strategy{Greedy, LazyGreedyStrategy, MarginalGreedy, LazyMarginalGreedy} {
+		r := Run(opt, s)
+		if r.Cost > v.Cost+1e-6 {
+			t.Errorf("%v cost %.1f worse than Volcano %.1f", s, r.Cost, v.Cost)
+		}
+		if r.Benefit != r.VolcanoCost-r.Cost {
+			t.Errorf("%v benefit inconsistent", s)
+		}
+	}
+}
+
+func TestLazyVariantsMatchEager(t *testing.T) {
+	opt := bq2Optimizer(t)
+	g := Run(opt, Greedy)
+	lg := Run(opt, LazyGreedyStrategy)
+	if !equalIDs(g.Materialized, lg.Materialized) {
+		t.Errorf("LazyGreedy picked %v, Greedy picked %v", lg.Materialized, g.Materialized)
+	}
+	m := Run(opt, MarginalGreedy)
+	lm := Run(opt, LazyMarginalGreedy)
+	if !equalIDs(m.Materialized, lm.Materialized) {
+		t.Errorf("LazyMarginalGreedy picked %v, MarginalGreedy picked %v", lm.Materialized, m.Materialized)
+	}
+}
+
+func TestVolcanoMaterializesNothing(t *testing.T) {
+	opt := bq2Optimizer(t)
+	v := Run(opt, Volcano)
+	if len(v.Materialized) != 0 || v.Benefit != 0 {
+		t.Errorf("Volcano result %+v", v)
+	}
+}
+
+func TestMaterializeAllIsWorseHere(t *testing.T) {
+	// The paper notes materializing everything "can be horribly
+	// inefficient"; on BQ2 it must lose to MarginalGreedy.
+	opt := bq2Optimizer(t)
+	all := Run(opt, MaterializeAll)
+	mg := Run(opt, MarginalGreedy)
+	if all.Cost < mg.Cost {
+		t.Errorf("MaterializeAll %.1f unexpectedly beats MarginalGreedy %.1f", all.Cost, mg.Cost)
+	}
+	if len(all.Materialized) != len(opt.Shareable()) {
+		t.Errorf("MaterializeAll materialized %d of %d", len(all.Materialized), len(opt.Shareable()))
+	}
+}
+
+func TestExhaustiveDominatesOnExample1(t *testing.T) {
+	opt := newExample1Optimizer(t)
+	if n := len(opt.Shareable()); n > 20 {
+		t.Skipf("universe too large for exhaustive: %d", n)
+	}
+	ex := Run(opt, Exhaustive)
+	for _, s := range []Strategy{Greedy, MarginalGreedy} {
+		r := Run(opt, s)
+		if r.Cost < ex.Cost-1e-6 {
+			t.Errorf("%v cost %.1f beats exhaustive %.1f", s, r.Cost, ex.Cost)
+		}
+	}
+}
+
+func TestRunKRespectsBudgetAndReduction(t *testing.T) {
+	opt := bq2Optimizer(t)
+	for _, k := range []int{1, 2, 3} {
+		full := RunK(opt, k, false)
+		if len(full.Materialized) > k {
+			t.Errorf("k=%d materialized %d", k, len(full.Materialized))
+		}
+		reduced := RunK(opt, k, true)
+		if !equalIDs(full.Materialized, reduced.Materialized) {
+			t.Errorf("k=%d: Theorem 4 violated: full %v != reduced %v",
+				k, full.Materialized, reduced.Materialized)
+		}
+	}
+}
+
+func TestBenefitFuncIsNormalized(t *testing.T) {
+	opt := bq2Optimizer(t)
+	f := NewBenefitFunc(opt)
+	if v := f.Eval(submod.Set{}); v != 0 {
+		t.Errorf("mb(∅) = %v, want 0", v)
+	}
+	if f.N() != len(opt.Shareable()) {
+		t.Errorf("universe size %d != shareable count %d", f.N(), len(opt.Shareable()))
+	}
+}
+
+func TestBenefitEqualsCostDrop(t *testing.T) {
+	opt := bq2Optimizer(t)
+	f := NewBenefitFunc(opt)
+	for e := 0; e < f.N(); e++ {
+		mb := f.Eval(submod.NewSet(e))
+		ns := physical.NodeSet{}
+		for _, id := range f.ToNodes(submod.NewSet(e)) {
+			ns[id] = true
+		}
+		bc := opt.BestCost(ns)
+		if diff := mb - (f.Base() - bc); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("element %d: mb=%v but bc drop=%v", e, mb, f.Base()-bc)
+		}
+	}
+}
+
+func TestOracleCallsReported(t *testing.T) {
+	opt := bq2Optimizer(t)
+	r := Run(opt, MarginalGreedy)
+	if r.OracleCalls <= 0 {
+		t.Errorf("OracleCalls = %d", r.OracleCalls)
+	}
+	if r.OptTime <= 0 {
+		t.Errorf("OptTime = %v", r.OptTime)
+	}
+}
+
+func equalIDs(a, b []memo.GroupID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[memo.GroupID]bool{}
+	for _, id := range a {
+		seen[id] = true
+	}
+	for _, id := range b {
+		if !seen[id] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/memo"
+	"repro/internal/physical"
+	"repro/internal/volcano"
+)
+
+// RunVolcanoSH implements the Volcano-SH baseline from the MQO lineage
+// (Subramanian & Venkataraman's transient views, Roy et al.'s Volcano-SH):
+// optimize every query independently first, then share only the
+// subexpressions that happen to appear in those locally optimal plans —
+// a cheap post-optimization phase that "can be highly suboptimal" because
+// it never steers plan choice toward sharing. It provides the middle
+// baseline between stand-alone Volcano and full cost-based MQO.
+func RunVolcanoSH(opt *volcano.Optimizer) Result {
+	res := runTimed(func() ([]memo.GroupID, float64) {
+		base := opt.BestCost(physical.NodeSet{})
+		plan := opt.Plan(physical.NodeSet{})
+
+		// Count how many times each group is computed across the locally
+		// optimal plan trees.
+		uses := map[memo.GroupID]int{}
+		var walk func(n *physical.PlanNode)
+		walk = func(n *physical.PlanNode) {
+			uses[n.Group]++
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		for _, q := range plan.Queries {
+			walk(q)
+		}
+
+		// Candidates: shareable groups computed at least twice in the
+		// locally optimal plans. Greedily keep the ones that actually
+		// reduce bestCost when materialized (cheapest check first by use
+		// count, descending).
+		var cands []memo.GroupID
+		for _, id := range opt.Shareable() {
+			if uses[id] >= 2 {
+				cands = append(cands, id)
+			}
+		}
+		sortByUsesDesc(cands, uses)
+		chosen := physical.NodeSet{}
+		cur := base
+		for _, id := range cands {
+			if c := opt.BestCost(chosen.With(id)); c < cur {
+				chosen[id] = true
+				cur = c
+			}
+		}
+		out := make([]memo.GroupID, 0, len(chosen))
+		for id := range chosen {
+			out = append(out, id)
+		}
+		return out, base
+	}, opt)
+	return res
+}
+
+// runTimed wraps the common Result bookkeeping.
+func runTimed(f func() ([]memo.GroupID, float64), opt *volcano.Optimizer) Result {
+	start := nowFunc()
+	nodes, base := f()
+	res := Result{
+		Strategy:     VolcanoSH,
+		Materialized: nodes,
+		VolcanoCost:  base,
+		OptTime:      nowFunc().Sub(start),
+	}
+	res.Cost = opt.BestCost(res.MatSet())
+	res.Benefit = res.VolcanoCost - res.Cost
+	return res
+}
+
+func sortByUsesDesc(ids []memo.GroupID, uses map[memo.GroupID]int) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j-1], ids[j]
+			if uses[b] > uses[a] || (uses[b] == uses[a] && b < a) {
+				ids[j-1], ids[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}

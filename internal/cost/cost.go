@@ -1,0 +1,177 @@
+// Package cost implements the resource-consumption cost model of the
+// paper's experimental section: 4 KB blocks, 10 ms seek, 2 ms/block read
+// transfer, 4 ms/block write transfer, 0.2 ms/block CPU, and 6 MB of memory
+// available to each operator. All costs are in milliseconds.
+//
+// Each cost function returns only the operator's *local* cost; the plan
+// search adds the (use-)costs of the children separately, following the
+// Volcano convention that intermediate results are pipelined unless
+// explicitly materialized.
+package cost
+
+import "math"
+
+// Model holds the cost-model constants.
+type Model struct {
+	BlockBytes int     // disk block size
+	SeekMs     float64 // per random access
+	ReadMs     float64 // per block read
+	WriteMs    float64 // per block written
+	CPUMs      float64 // per block of data processed
+	MemBytes   int     // memory available per operator
+}
+
+// Default returns the constants used in the paper's experiments.
+func Default() Model {
+	return Model{
+		BlockBytes: 4096,
+		SeekMs:     10,
+		ReadMs:     2,
+		WriteMs:    4,
+		CPUMs:      0.2,
+		MemBytes:   6 << 20,
+	}
+}
+
+// MemBlocks returns the operator memory in blocks.
+func (m Model) MemBlocks() float64 {
+	b := float64(m.MemBytes) / float64(m.BlockBytes)
+	if b < 3 {
+		b = 3
+	}
+	return math.Floor(b)
+}
+
+// Blocks returns the number of blocks occupied by rows tuples of the given
+// width.
+func (m Model) Blocks(rows float64, width int) float64 {
+	if rows <= 0 {
+		return 1
+	}
+	perBlock := math.Floor(float64(m.BlockBytes) / float64(width))
+	if perBlock < 1 {
+		perBlock = 1
+	}
+	return math.Max(1, math.Ceil(rows/perBlock))
+}
+
+// ScanCost is a sequential scan of a stored relation: one seek, a read
+// transfer per block and CPU per block.
+func (m Model) ScanCost(blocks float64) float64 {
+	return m.SeekMs + blocks*(m.ReadMs+m.CPUMs)
+}
+
+// IndexScanCost is an indexed selection retrieving matchRows rows occupying
+// matchBlocks blocks out of a relation of totalBlocks blocks. With a
+// clustered index the matching tuples are contiguous; with a secondary
+// index each matching row may require a random access (capped at reading
+// the whole relation).
+func (m Model) IndexScanCost(totalBlocks, matchBlocks, matchRows float64, clustered bool) float64 {
+	if clustered {
+		// A few index-node reads folded into one extra seek.
+		return 2*m.SeekMs + matchBlocks*(m.ReadMs+m.CPUMs)
+	}
+	random := matchRows * (m.SeekMs + m.ReadMs + m.CPUMs)
+	full := m.ScanCost(totalBlocks)
+	return math.Min(random, full)
+}
+
+// FilterCost is the CPU cost of applying a predicate to a pipelined input.
+func (m Model) FilterCost(inBlocks float64) float64 {
+	return inBlocks * m.CPUMs
+}
+
+// SortCost is an external merge sort of a pipelined input of the given
+// size, with the final merge pass pipelined to the consumer. An input that
+// fits in memory costs CPU only.
+func (m Model) SortCost(blocks float64) float64 {
+	mem := m.MemBlocks()
+	if blocks <= mem {
+		return blocks * m.CPUMs * 2
+	}
+	runs := math.Ceil(blocks / mem)
+	fanin := mem - 1
+	mergePasses := math.Ceil(math.Log(runs) / math.Log(fanin))
+	if mergePasses < 1 {
+		mergePasses = 1
+	}
+	// Run generation writes all blocks once; every merge pass reads all
+	// blocks, and all but the final pass write them back.
+	io := blocks*m.WriteMs + // initial runs
+		mergePasses*blocks*m.ReadMs + // reads per merge pass
+		(mergePasses-1)*blocks*m.WriteMs // writes for non-final passes
+	seeks := (runs + mergePasses*runs) * m.SeekMs / 4 // amortized seeks
+	cpu := (1 + mergePasses) * blocks * m.CPUMs
+	return io + seeks + cpu
+}
+
+// MergeJoinCost is the local cost of merging two sorted pipelined inputs:
+// CPU over both inputs and the output.
+func (m Model) MergeJoinCost(lBlocks, rBlocks, outBlocks float64) float64 {
+	return (lBlocks + rBlocks + outBlocks) * m.CPUMs
+}
+
+// BNLJCost is the local cost of a block nested-loops join beyond the
+// one-time production costs of both inputs (which the caller adds).
+// rescannable indicates the inner can be re-read from storage (a base
+// relation or a materialized result); otherwise the first pass writes the
+// inner to a temporary file.
+func (m Model) BNLJCost(outerBlocks, innerBlocks, outBlocks float64, rescannable bool) float64 {
+	mem := m.MemBlocks() - 2
+	if mem < 1 {
+		mem = 1
+	}
+	passes := math.Max(1, math.Ceil(outerBlocks/mem))
+	cpu := (outerBlocks + passes*innerBlocks + outBlocks) * m.CPUMs
+	if passes == 1 {
+		return cpu
+	}
+	rescan := (passes - 1) * (m.SeekMs + innerBlocks*m.ReadMs)
+	if !rescannable {
+		rescan += m.SeekMs + innerBlocks*m.WriteMs // temp spill of the inner
+	}
+	return cpu + rescan
+}
+
+// AggCost is the local cost of sort-based aggregation over a sorted
+// pipelined input.
+func (m Model) AggCost(inBlocks float64) float64 {
+	return inBlocks * m.CPUMs
+}
+
+// HashJoinCost is the local cost of a Grace hash join (an optional
+// operator outside the paper's rule set, used by the extended-operator
+// ablation): when the build side fits in memory the join is CPU-only;
+// otherwise both sides are partitioned to disk and re-read.
+func (m Model) HashJoinCost(buildBlocks, probeBlocks, outBlocks float64) float64 {
+	cpu := (buildBlocks + probeBlocks + outBlocks) * m.CPUMs
+	if buildBlocks <= m.MemBlocks() {
+		return cpu
+	}
+	spill := (buildBlocks + probeBlocks) * (m.WriteMs + m.ReadMs)
+	seeks := 2 * m.SeekMs
+	return cpu*2 + spill + seeks
+}
+
+// HashAggCost is the local cost of hash aggregation over an unsorted
+// pipelined input (optional operator): CPU-only while the group table fits
+// in memory, with a partition spill otherwise.
+func (m Model) HashAggCost(inBlocks, outBlocks float64) float64 {
+	cpu := inBlocks * m.CPUMs
+	if outBlocks <= m.MemBlocks() {
+		return cpu
+	}
+	return cpu + inBlocks*(m.WriteMs+m.ReadMs) + 2*m.SeekMs
+}
+
+// MaterializeWriteCost is the cost of writing a shared intermediate result
+// to disk sequentially.
+func (m Model) MaterializeWriteCost(blocks float64) float64 {
+	return m.SeekMs + blocks*m.WriteMs
+}
+
+// MaterializeReadCost is the cost of one consumer scanning a materialized
+// intermediate result.
+func (m Model) MaterializeReadCost(blocks float64) float64 {
+	return m.SeekMs + blocks*(m.ReadMs+m.CPUMs)
+}

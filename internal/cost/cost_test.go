@@ -1,0 +1,137 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesPaperConstants(t *testing.T) {
+	m := Default()
+	if m.BlockBytes != 4096 {
+		t.Errorf("block size %d, want 4KB", m.BlockBytes)
+	}
+	if m.SeekMs != 10 || m.ReadMs != 2 || m.WriteMs != 4 || m.CPUMs != 0.2 {
+		t.Errorf("timing constants %+v do not match Section 6", m)
+	}
+	if m.MemBytes != 6<<20 {
+		t.Errorf("memory %d, want 6MB", m.MemBytes)
+	}
+	if got := m.MemBlocks(); got != 1536 {
+		t.Errorf("MemBlocks = %v, want 1536", got)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	m := Default()
+	cases := []struct {
+		rows  float64
+		width int
+		want  float64
+	}{
+		{0, 100, 1},
+		{1, 100, 1},
+		{40, 100, 1},     // 40 tuples of 100B fit one 4KB block
+		{41, 100, 2},     // 41st spills
+		{100, 8192, 100}, // tuple wider than a block: one per block
+	}
+	for _, c := range cases {
+		if got := m.Blocks(c.rows, c.width); got != c.want {
+			t.Errorf("Blocks(%v,%d) = %v, want %v", c.rows, c.width, got, c.want)
+		}
+	}
+}
+
+func TestScanCost(t *testing.T) {
+	m := Default()
+	// One seek + (read + cpu) per block.
+	if got, want := m.ScanCost(100), 10+100*2.2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ScanCost(100) = %v, want %v", got, want)
+	}
+}
+
+func TestIndexScanClusteredVsSecondary(t *testing.T) {
+	m := Default()
+	clustered := m.IndexScanCost(1000, 10, 400, true)
+	secondary := m.IndexScanCost(1000, 10, 400, false)
+	if clustered >= secondary {
+		t.Errorf("clustered (%v) should beat secondary (%v) for clustered ranges", clustered, secondary)
+	}
+	// A secondary index on a huge match set degrades to a full scan.
+	full := m.ScanCost(1000)
+	if got := m.IndexScanCost(1000, 900, 1e6, false); got != full {
+		t.Errorf("secondary with huge match should cap at full scan: %v vs %v", got, full)
+	}
+}
+
+func TestSortCostRegimes(t *testing.T) {
+	m := Default()
+	inMem := m.SortCost(1000) // < 1536 blocks: CPU only
+	if inMem != 1000*0.2*2 {
+		t.Errorf("in-memory sort = %v", inMem)
+	}
+	ext := m.SortCost(10000)
+	if ext <= m.SortCost(1536) {
+		t.Error("external sort must cost more than in-memory")
+	}
+	// Monotone in input size.
+	if m.SortCost(20000) <= ext {
+		t.Error("sort cost must grow with input")
+	}
+}
+
+func TestBNLJRegimes(t *testing.T) {
+	m := Default()
+	onePass := m.BNLJCost(100, 1000, 50, true)
+	if onePass != (100+1000+50)*0.2 {
+		t.Errorf("one-pass BNLJ should be CPU only: %v", onePass)
+	}
+	multi := m.BNLJCost(5000, 1000, 50, true)
+	if multi <= onePass {
+		t.Error("multi-pass must cost more")
+	}
+	spill := m.BNLJCost(5000, 1000, 50, false)
+	if spill <= multi {
+		t.Error("non-rescannable inner must add spill cost")
+	}
+}
+
+func TestMaterializeCosts(t *testing.T) {
+	m := Default()
+	if w := m.MaterializeWriteCost(100); w != 10+100*4 {
+		t.Errorf("write cost %v", w)
+	}
+	if r := m.MaterializeReadCost(100); math.Abs(r-(10+100*2.2)) > 1e-9 {
+		t.Errorf("read cost %v", r)
+	}
+	// Reading a materialized result must beat recomputing anything that
+	// costs more than a scan of the same size.
+	if m.MaterializeReadCost(100) >= m.ScanCost(100)+1 {
+		t.Error("materialized read should cost like a scan")
+	}
+}
+
+func TestCostsNonNegativeQuick(t *testing.T) {
+	m := Default()
+	f := func(rows uint32, width uint16) bool {
+		w := int(width%2048) + 1
+		b := m.Blocks(float64(rows), w)
+		return b >= 1 &&
+			m.ScanCost(b) > 0 &&
+			m.SortCost(b) >= 0 &&
+			m.MaterializeWriteCost(b) > 0 &&
+			m.MaterializeReadCost(b) > 0 &&
+			m.FilterCost(b) >= 0 &&
+			m.AggCost(b) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemBlocksFloor(t *testing.T) {
+	m := Model{BlockBytes: 4096, MemBytes: 1} // degenerate memory
+	if got := m.MemBlocks(); got != 3 {
+		t.Errorf("MemBlocks floor = %v, want 3", got)
+	}
+}

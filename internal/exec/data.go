@@ -1,0 +1,161 @@
+// Package exec is an iterator-model execution engine for the consolidated
+// plans produced by the optimizer: deterministic synthetic data generation
+// from the catalog, the paper's physical operators (table scan, indexed
+// selection, filter, external-style sort, merge join, block nested-loops
+// join, sort-based aggregation), and a materialization runtime that
+// computes each shared node once, "writes" it to a simulated disk and
+// re-reads it for every consumer. A block-level I/O accountant lets tests
+// confirm that plans the optimizer estimates as cheaper really do less
+// simulated I/O.
+//
+// The paper itself never executes plans (its experiments compare estimated
+// costs); the engine exists so that the reproduction's examples run end to
+// end and the optimizer's cost ordering can be validated against an
+// independent measure.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+)
+
+// Row is one tuple: values addressed by column position per Schema.
+type Row []float64
+
+// Schema maps qualified column names (canonical "gN.col" form) to
+// positions in a Row.
+type Schema struct {
+	Names []string
+	pos   map[string]int
+}
+
+// NewSchema builds a schema from column names.
+func NewSchema(names ...string) *Schema {
+	s := &Schema{Names: names, pos: make(map[string]int, len(names))}
+	for i, n := range names {
+		s.pos[n] = i
+	}
+	return s
+}
+
+// Pos returns the position of the named column, or -1.
+func (s *Schema) Pos(name string) int {
+	p, ok := s.pos[name]
+	if !ok {
+		return -1
+	}
+	return p
+}
+
+// Concat returns the schema of a join output.
+func (s *Schema) Concat(o *Schema) *Schema {
+	names := make([]string, 0, len(s.Names)+len(o.Names))
+	names = append(names, s.Names...)
+	names = append(names, o.Names...)
+	return NewSchema(names...)
+}
+
+// Generator produces deterministic synthetic rows for catalog tables. The
+// same (table, seed) always yields the same data, and column values track
+// the catalog statistics: value range [Min, Max] with approximately
+// Distinct distinct values, so optimizer estimates are meaningful for the
+// generated data.
+type Generator struct {
+	Cat  *catalog.Catalog
+	Seed uint64
+	// Cap bounds the number of rows generated per table (0 = no cap);
+	// examples use it to run giant catalogs at laptop scale while keeping
+	// the optimizer's relative cost ordering.
+	Cap int
+}
+
+// splitmix64 is a tiny deterministic PRNG step.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Table materializes the synthetic contents of a base table under the
+// given column subset (all columns when cols is nil). Row i's value for a
+// key-like column (Distinct ≈ Rows) is i itself, so primary keys are
+// unique and foreign keys join consistently across tables.
+func (g *Generator) Table(name string, cols []string) (*Schema, []Row, error) {
+	t, ok := g.Cat.Table(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("exec: unknown table %q", name)
+	}
+	n := int(t.Rows)
+	if g.Cap > 0 && n > g.Cap {
+		n = g.Cap
+	}
+	if cols == nil {
+		for _, c := range t.Columns {
+			cols = append(cols, c.Name)
+		}
+	}
+	names := make([]string, len(cols))
+	copy(names, cols)
+	schema := NewSchema(names...)
+	specs := make([]catalog.Column, len(cols))
+	for i, cn := range cols {
+		c, ok := t.Column(cn)
+		if !ok {
+			return nil, nil, fmt.Errorf("exec: unknown column %s.%s", name, cn)
+		}
+		specs[i] = c
+	}
+	rows := make([]Row, n)
+	base := splitmix64(g.Seed ^ hashString(name))
+	for i := 0; i < n; i++ {
+		row := make(Row, len(cols))
+		for j, c := range specs {
+			row[j] = g.value(base, i, c, t.Rows)
+		}
+		rows[i] = row
+	}
+	return schema, rows, nil
+}
+
+// value generates row i's value for a column. Key columns (Distinct equal
+// to the table's row count) are sequential so joins on keys behave like
+// PK/FK joins; foreign-key-like columns (names ending in "key" or "_id")
+// wrap into the capped parent domain so joins still match when Cap
+// truncates tables; other columns cycle pseudo-randomly through their
+// distinct values mapped onto [Min, Max].
+func (g *Generator) value(base uint64, i int, c catalog.Column, tableRows float64) float64 {
+	if c.Distinct >= tableRows {
+		return float64(i)
+	}
+	h := splitmix64(base ^ uint64(i)*0x9e3779b97f4a7c15 ^ hashString(c.Name))
+	if g.Cap > 0 && c.Distinct > float64(g.Cap) && keyLike(c.Name) {
+		return float64(h % uint64(g.Cap))
+	}
+	d := c.Distinct
+	if d < 1 {
+		d = 1
+	}
+	k := float64(h % uint64(math.Max(1, d)))
+	if c.Max <= c.Min {
+		return c.Min
+	}
+	return c.Min + k*(c.Max-c.Min)/math.Max(1, d-1)
+}
+
+// keyLike reports whether a column name follows the key-column naming
+// convention the generator's FK capping relies on.
+func keyLike(name string) bool {
+	return len(name) > 3 && (name[len(name)-3:] == "key" || name[len(name)-3:] == "_id")
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

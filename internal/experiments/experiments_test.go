@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExperiment1Shape(t *testing.T) {
+	tb, err := Experiment1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("expected 6 BQ rows, got %d", len(tb.Rows))
+	}
+	// Column 1 = Volcano, 2 = Greedy, 4 = MarginalGreedy (seconds).
+	for _, row := range tb.Rows {
+		v, g, m := atof(t, row[1]), atof(t, row[2]), atof(t, row[4])
+		if g > v {
+			t.Errorf("%s: Greedy %v worse than Volcano %v", row[0], g, v)
+		}
+		if m > v {
+			t.Errorf("%s: MarginalGreedy %v worse than Volcano %v", row[0], m, v)
+		}
+		// The paper's headline: substantial gains from MQO.
+		if g > 0.9*v {
+			t.Errorf("%s: Greedy gain below 10%% (%v vs %v)", row[0], g, v)
+		}
+	}
+	// Volcano cost grows with batch size.
+	for i := 1; i < len(tb.Rows); i++ {
+		if atof(t, tb.Rows[i][1]) <= atof(t, tb.Rows[i-1][1]) {
+			t.Errorf("Volcano cost not increasing at %s", tb.Rows[i][0])
+		}
+	}
+}
+
+func TestExperiment1ScaleFactor(t *testing.T) {
+	t1, err := Experiment1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t100, err := Experiment1(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At SF 100 the absolute gains are substantially larger (the paper's
+	// observation about large data sizes).
+	for i := range t1.Rows {
+		g1 := atof(t, t1.Rows[i][1]) - atof(t, t1.Rows[i][2])
+		g100 := atof(t, t100.Rows[i][1]) - atof(t, t100.Rows[i][2])
+		if g100 < 10*g1 {
+			t.Errorf("%s: SF100 absolute gain %v not ≫ SF1 gain %v", t1.Rows[i][0], g100, g1)
+		}
+	}
+}
+
+func TestExperiment2Shape(t *testing.T) {
+	tb, err := Experiment2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("expected 4 queries, got %d", len(tb.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range tb.Rows {
+		names[row[0]] = true
+		v, g, m := atof(t, row[1]), atof(t, row[2]), atof(t, row[4])
+		if g > v || m > v {
+			t.Errorf("%s: MQO worse than Volcano (%v/%v vs %v)", row[0], g, m, v)
+		}
+		// Every stand-alone query has internal sharing worth exploiting.
+		if g >= v {
+			t.Errorf("%s: no gain from internal common subexpressions", row[0])
+		}
+	}
+	for _, want := range []string{"Q2", "Q2-D", "Q11", "Q15"} {
+		if !names[want] {
+			t.Errorf("missing query %s", want)
+		}
+	}
+}
+
+func TestBoundValidationAllHold(t *testing.T) {
+	tb := BoundValidation()
+	holdsCol := -1
+	for i, c := range tb.Columns {
+		if c == "bound holds" {
+			holdsCol = i
+		}
+	}
+	if holdsCol < 0 {
+		t.Fatal("bound table lost its 'bound holds' column")
+	}
+	for _, row := range tb.Rows {
+		if row[holdsCol] != "true" {
+			t.Errorf("Theorem 1 bound violated at γ=%s", row[0])
+		}
+	}
+}
+
+func TestExample1Table(t *testing.T) {
+	tb, err := Example1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	v := atof(t, tb.Rows[0][1])
+	g := atof(t, tb.Rows[1][1])
+	if g >= v {
+		t.Errorf("Example 1: consolidated (%v) not cheaper than locally optimal (%v)", g, v)
+	}
+}
+
+func TestAblationAgreement(t *testing.T) {
+	tb, err := Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0–2 are MarginalGreedy variants: identical cost and #mat.
+	c0, m0 := tb.Rows[0][1], tb.Rows[0][2]
+	for i := 1; i <= 2; i++ {
+		if tb.Rows[i][1] != c0 || tb.Rows[i][2] != m0 {
+			t.Errorf("variant %q differs from eager: %v vs %v/%v",
+				tb.Rows[i][0], tb.Rows[i][1:3], c0, m0)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "T",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"note"},
+	}
+	s := tb.String()
+	for _, want := range []string{"### T", "| a | b |", "| 1 | 2 |", "note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package logical
+
+import (
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// BlockBuilder is a fluent helper for constructing blocks in workload
+// definitions and tests.
+type BlockBuilder struct {
+	b Block
+}
+
+// NewBlock returns an empty block builder.
+func NewBlock() *BlockBuilder { return &BlockBuilder{} }
+
+// Scan adds a base relation occurrence under the given alias.
+func (bb *BlockBuilder) Scan(table, alias string) *BlockBuilder {
+	bb.b.Sources = append(bb.b.Sources, Source{Alias: alias, Table: table})
+	return bb
+}
+
+// Derived adds a nested block as a source under the given alias.
+func (bb *BlockBuilder) Derived(sub *Block, alias string) *BlockBuilder {
+	bb.b.Sources = append(bb.b.Sources, Source{Alias: alias, Sub: sub})
+	return bb
+}
+
+// Where adds a selection predicate.
+func (bb *BlockBuilder) Where(p expr.Pred) *BlockBuilder {
+	bb.b.Selects = append(bb.b.Selects, p)
+	return bb
+}
+
+// Cmp adds a single-comparison selection predicate, e.g.
+// Cmp("o.orderdate", expr.LT, 9000).
+func (bb *BlockBuilder) Cmp(col string, op expr.CmpOp, val float64) *BlockBuilder {
+	return bb.Where(expr.Pred{Conj: []expr.Cmp{{Col: ParseCol(col), Op: op, Val: val}}})
+}
+
+// Join adds an equi-join condition between two qualified columns, e.g.
+// Join("c.custkey", "o.custkey").
+func (bb *BlockBuilder) Join(left, right string) *BlockBuilder {
+	bb.b.Joins = append(bb.b.Joins, expr.EqJoin{Left: ParseCol(left), Right: ParseCol(right)})
+	return bb
+}
+
+// GroupBy sets the group-by columns of the block's aggregation.
+func (bb *BlockBuilder) GroupBy(cols ...string) *BlockBuilder {
+	if bb.b.Agg == nil {
+		bb.b.Agg = &expr.AggSpec{}
+	}
+	for _, c := range cols {
+		bb.b.Agg.GroupBy = append(bb.b.Agg.GroupBy, ParseCol(c))
+	}
+	return bb
+}
+
+// Sum adds a sum aggregate.
+func (bb *BlockBuilder) Sum(col string) *BlockBuilder { return bb.agg(expr.Sum, col) }
+
+// Count adds a count(*) aggregate.
+func (bb *BlockBuilder) Count() *BlockBuilder {
+	if bb.b.Agg == nil {
+		bb.b.Agg = &expr.AggSpec{}
+	}
+	bb.b.Agg.Aggs = append(bb.b.Agg.Aggs, expr.Agg{Func: expr.Count})
+	return bb
+}
+
+// Min adds a min aggregate.
+func (bb *BlockBuilder) Min(col string) *BlockBuilder { return bb.agg(expr.Min, col) }
+
+// Max adds a max aggregate.
+func (bb *BlockBuilder) Max(col string) *BlockBuilder { return bb.agg(expr.Max, col) }
+
+func (bb *BlockBuilder) agg(f expr.AggFunc, col string) *BlockBuilder {
+	if bb.b.Agg == nil {
+		bb.b.Agg = &expr.AggSpec{}
+	}
+	bb.b.Agg.Aggs = append(bb.b.Agg.Aggs, expr.Agg{Func: f, Col: ParseCol(col)})
+	return bb
+}
+
+// Build returns the constructed block.
+func (bb *BlockBuilder) Build() *Block {
+	b := bb.b
+	return &b
+}
+
+// Query wraps the block in a named query.
+func (bb *BlockBuilder) Query(name string) *Query {
+	return &Query{Name: name, Root: bb.Build()}
+}
+
+// ParseCol parses "alias.column" into an expr.Col; it panics on malformed
+// input (workload definitions are static).
+func ParseCol(s string) expr.Col {
+	i := strings.IndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		panic("logical: malformed column reference " + s)
+	}
+	return expr.Col{Alias: s[:i], Column: s[i+1:]}
+}

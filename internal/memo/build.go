@@ -1,0 +1,372 @@
+package memo
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strconv"
+
+	"repro/internal/cardinality"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// Option customizes DAG construction; used by the rule-ablation
+// experiments.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	noSelectSubsumption bool
+	noAggSubsumption    bool
+}
+
+// WithoutSelectSubsumption disables the select-subsumption rule.
+func WithoutSelectSubsumption() Option {
+	return func(c *buildConfig) { c.noSelectSubsumption = true }
+}
+
+// WithoutAggSubsumption disables the aggregate-subsumption rule.
+func WithoutAggSubsumption() Option {
+	return func(c *buildConfig) { c.noAggSubsumption = true }
+}
+
+// Build constructs and fully expands the combined LQDAG for a batch of
+// queries: selections are pushed to the leaves, every connected subset of
+// each block's join graph becomes a group with all bushy join derivations
+// (the closure of join associativity and commutativity), aggregations are
+// placed on top, common subexpressions unify across the batch, and
+// select/aggregate subsumption derivations are added.
+func Build(cat *catalog.Catalog, model cost.Model, batch *logical.Batch, opts ...Option) (*Memo, error) {
+	if batch == nil || len(batch.Queries) == 0 {
+		return nil, fmt.Errorf("memo: empty batch")
+	}
+	var cfg buildConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := New(cat, model)
+	for qi, q := range batch.Queries {
+		if err := q.Validate(cat); err != nil {
+			return nil, err
+		}
+		ctx := "q" + strconv.Itoa(qi)
+		root, err := m.buildBlock(q.Root, ctx)
+		if err != nil {
+			return nil, fmt.Errorf("query %q: %w", q.Name, err)
+		}
+		m.QueryRoots = append(m.QueryRoots, root)
+		m.QueryNames = append(m.QueryNames, q.Name)
+	}
+	if !cfg.noSelectSubsumption {
+		m.subsumeSelections()
+	}
+	if !cfg.noAggSubsumption {
+		m.subsumeAggregates()
+	}
+	m.projectWidths()
+	return m, nil
+}
+
+// resolver maps a block's original column references to canonical ones.
+type resolver struct {
+	m *Memo
+	// base maps a base-relation alias to its leaf group.
+	base map[string]GroupID
+	// derived maps a derived alias to the sub-block's root group.
+	derived map[string]GroupID
+}
+
+// col canonicalizes one column reference.
+func (r *resolver) col(c expr.Col) (expr.Col, error) {
+	if gid, ok := r.base[c.Alias]; ok {
+		return expr.Col{Alias: CanonAlias(gid), Column: c.Column}, nil
+	}
+	gid, ok := r.derived[c.Alias]
+	if !ok {
+		return expr.Col{}, fmt.Errorf("unresolved alias %q", c.Alias)
+	}
+	// Match the exposed column by name among the derived group's outputs.
+	props := r.m.Group(gid).Props
+	for _, cc := range props.ColumnList() {
+		if cc.Column == c.Column {
+			return cc, nil
+		}
+	}
+	return expr.Col{}, fmt.Errorf("derived source %q does not expose column %q", c.Alias, c.Column)
+}
+
+func (r *resolver) pred(p expr.Pred) (expr.Pred, error) {
+	out := expr.Pred{Conj: make([]expr.Cmp, len(p.Conj))}
+	for i, c := range p.Conj {
+		cc, err := r.col(c.Col)
+		if err != nil {
+			return expr.Pred{}, err
+		}
+		out.Conj[i] = expr.Cmp{Col: cc, Op: c.Op, Val: c.Val}
+	}
+	return out, nil
+}
+
+// buildBlock expands one block and returns its root group.
+func (m *Memo) buildBlock(b *logical.Block, ctx string) (GroupID, error) {
+	n := len(b.Sources)
+	res := &resolver{m: m, base: map[string]GroupID{}, derived: map[string]GroupID{}}
+	leafGID := make([]GroupID, n)
+	ordCount := map[string]int{}
+
+	for i, src := range b.Sources {
+		if src.Base() {
+			pred := b.SelectFor(src.Alias)
+			key := "scan|" + src.Table + "|" + anonPred(pred, src.Alias)
+			ord := ordCount[key]
+			ordCount[key]++
+			sig := key + "|" + strconv.Itoa(ord)
+			g, isNew := m.internGroup(sig)
+			if isNew {
+				t, _ := m.Cat.Table(src.Table)
+				canonPred := rewriteAlias(pred, src.Alias, CanonAlias(g.ID))
+				g.Props = cardinality.ApplySelect(cardinality.BaseProps(t, CanonAlias(g.ID)), canonPred)
+				g.Leaf = true
+				g.BasePred = !pred.True()
+				m.addExpr(&MExpr{Kind: OpScan, Group: g.ID, Table: src.Table, Alias: src.Alias, Pred: canonPred})
+			}
+			leafGID[i] = g.ID
+			res.base[src.Alias] = g.ID
+		} else {
+			sub, err := m.buildBlock(src.Sub, ctx+"/"+src.Alias)
+			if err != nil {
+				return 0, err
+			}
+			leafGID[i] = sub
+			res.derived[src.Alias] = sub
+		}
+		m.addConsumer(leafGID[i], ctx)
+	}
+
+	// Canonicalize the join conditions and record which source indexes each
+	// condition touches.
+	type condInfo struct {
+		cond expr.EqJoin
+		li   int // source index of the left column
+		ri   int // source index of the right column
+	}
+	srcIdx := map[string]int{}
+	for i, s := range b.Sources {
+		srcIdx[s.Alias] = i
+	}
+	conds := make([]condInfo, 0, len(b.Joins))
+	for _, j := range b.Joins {
+		l, err := res.col(j.Left)
+		if err != nil {
+			return 0, err
+		}
+		r, err := res.col(j.Right)
+		if err != nil {
+			return 0, err
+		}
+		conds = append(conds, condInfo{
+			cond: expr.EqJoin{Left: l, Right: r}.Canonical(),
+			li:   srcIdx[j.Left.Alias],
+			ri:   srcIdx[j.Right.Alias],
+		})
+	}
+
+	var rootGID GroupID
+	if n == 1 {
+		rootGID = leafGID[0]
+	} else {
+		// Connectivity over source indexes.
+		adj := make([]uint64, n)
+		for _, ci := range conds {
+			adj[ci.li] |= 1 << uint(ci.ri)
+			adj[ci.ri] |= 1 << uint(ci.li)
+		}
+		connected := func(mask uint64) bool {
+			start := uint64(1) << uint(bits.TrailingZeros64(mask))
+			seen := start
+			for {
+				grow := seen
+				for t := seen; t != 0; t &= t - 1 {
+					grow |= adj[bits.TrailingZeros64(t)] & mask
+				}
+				if grow == seen {
+					break
+				}
+				seen = grow
+			}
+			return seen == mask
+		}
+		condsIn := func(mask uint64) []expr.EqJoin {
+			var out []expr.EqJoin
+			for _, ci := range conds {
+				if mask&(1<<uint(ci.li)) != 0 && mask&(1<<uint(ci.ri)) != 0 {
+					out = append(out, ci.cond)
+				}
+			}
+			return out
+		}
+		condsAcross := func(a, bm uint64) []expr.EqJoin {
+			var out []expr.EqJoin
+			for _, ci := range conds {
+				lb, rb := uint64(1)<<uint(ci.li), uint64(1)<<uint(ci.ri)
+				if (a&lb != 0 && bm&rb != 0) || (a&rb != 0 && bm&lb != 0) {
+					out = append(out, ci.cond)
+				}
+			}
+			return out
+		}
+		groupOf := make(map[uint64]GroupID, 1<<uint(n))
+		for i := 0; i < n; i++ {
+			groupOf[1<<uint(i)] = leafGID[i]
+		}
+		full := uint64(1)<<uint(n) - 1
+		for mask := uint64(1); mask <= full; mask++ {
+			if bits.OnesCount64(mask) < 2 || !connected(mask) {
+				continue
+			}
+			ids := make([]GroupID, 0, bits.OnesCount64(mask))
+			for t := mask; t != 0; t &= t - 1 {
+				ids = append(ids, leafGID[bits.TrailingZeros64(t)])
+			}
+			inner := condsIn(mask)
+			sig := "join|" + sortedIDs(ids) + "|" + expr.JoinFingerprint(inner)
+			g, isNew := m.internGroup(sig)
+			if isNew {
+				g.Props = m.joinSubsetProps(ids, inner)
+			}
+			groupOf[mask] = g.ID
+			m.addConsumer(g.ID, ctx)
+			// All partitions into two connected halves; counting each
+			// unordered partition once by keeping the lowest bit on the
+			// left side (commutativity is handled physically).
+			low := uint64(1) << uint(bits.TrailingZeros64(mask))
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				if sub&low == 0 {
+					continue
+				}
+				rest := mask ^ sub
+				if !connected(sub) || !connected(rest) {
+					continue
+				}
+				cross := condsAcross(sub, rest)
+				if len(cross) == 0 {
+					continue
+				}
+				m.addExpr(&MExpr{
+					Kind:     OpJoin,
+					Group:    g.ID,
+					Children: []GroupID{groupOf[sub], groupOf[rest]},
+					Conds:    cross,
+				})
+			}
+			if len(g.Exprs) == 0 {
+				return 0, fmt.Errorf("memo: no join derivation for connected subset (internal error)")
+			}
+		}
+		rootGID = groupOf[full]
+	}
+
+	if b.Agg != nil {
+		spec := expr.AggSpec{}
+		for _, c := range b.Agg.GroupBy {
+			cc, err := res.col(c)
+			if err != nil {
+				return 0, err
+			}
+			spec.GroupBy = append(spec.GroupBy, cc)
+		}
+		for _, a := range b.Agg.Aggs {
+			if a.Func == expr.Count {
+				spec.Aggs = append(spec.Aggs, a)
+				continue
+			}
+			cc, err := res.col(a.Col)
+			if err != nil {
+				return 0, err
+			}
+			spec.Aggs = append(spec.Aggs, expr.Agg{Func: a.Func, Col: cc})
+		}
+		sig := "agg|" + strconv.Itoa(int(rootGID)) + "|" + spec.Fingerprint()
+		g, isNew := m.internGroup(sig)
+		if isNew {
+			g.Props = cardinality.AggProps(m.Group(rootGID).Props, spec)
+			sp := spec
+			m.addExpr(&MExpr{Kind: OpAgg, Group: g.ID, Children: []GroupID{rootGID}, Spec: &sp})
+		}
+		m.addConsumer(g.ID, ctx)
+		rootGID = g.ID
+	}
+	return rootGID, nil
+}
+
+// joinSubsetProps computes split-independent properties for a join subset:
+// the row count is the product of the leaf row counts times the product of
+// the condition selectivities, so every derivation of the subset agrees.
+func (m *Memo) joinSubsetProps(ids []GroupID, conds []expr.EqJoin) cardinality.Props {
+	cols := map[expr.Col]cardinality.ColStats{}
+	rows := 1.0
+	width := 0
+	for _, id := range ids {
+		p := m.Group(id).Props
+		rows *= p.Rows
+		width += p.Width
+		for k, v := range p.Cols {
+			cols[k] = v
+		}
+	}
+	for _, j := range conds {
+		vl, okl := cols[j.Left]
+		vr, okr := cols[j.Right]
+		d := 10.0
+		switch {
+		case okl && okr:
+			d = math.Max(vl.Distinct, vr.Distinct)
+		case okl:
+			d = vl.Distinct
+		case okr:
+			d = vr.Distinct
+		}
+		if d < 1 {
+			d = 1
+		}
+		rows /= d
+		if okl && okr {
+			dd := math.Min(vl.Distinct, vr.Distinct)
+			lo := math.Max(vl.Min, vr.Min)
+			hi := math.Min(vl.Max, vr.Max)
+			cols[j.Left] = cardinality.ColStats{Distinct: dd, Min: lo, Max: hi}
+			cols[j.Right] = cardinality.ColStats{Distinct: dd, Min: lo, Max: hi}
+		}
+	}
+	rows = math.Max(1, rows)
+	p := cardinality.Props{Rows: rows, Width: width, Cols: cols}
+	for k, v := range cols {
+		if v.Distinct > rows {
+			v.Distinct = rows
+			cols[k] = v
+		}
+	}
+	return p
+}
+
+// anonPred renders a single-alias predicate with the alias anonymized, for
+// use in leaf signatures (so that unification is alias-independent).
+func anonPred(p expr.Pred, alias string) string {
+	return rewriteAlias(p, alias, "$").Fingerprint()
+}
+
+// rewriteAlias returns the predicate with every reference to `from`
+// re-qualified as `to`.
+func rewriteAlias(p expr.Pred, from, to string) expr.Pred {
+	out := expr.Pred{Conj: make([]expr.Cmp, len(p.Conj))}
+	for i, c := range p.Conj {
+		col := c.Col
+		if col.Alias == from {
+			col.Alias = to
+		}
+		out.Conj[i] = expr.Cmp{Col: col, Op: c.Op, Val: c.Val}
+	}
+	return out
+}

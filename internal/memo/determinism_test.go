@@ -1,0 +1,85 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// TestBuildDeterministic verifies that building the same batch twice
+// produces structurally identical DAGs: same group signatures in the same
+// id order, same expression count, same properties. The MQO algorithms and
+// the incremental cache rely on this.
+func TestBuildDeterministic(t *testing.T) {
+	mk := func() *Memo {
+		q1 := logical.NewBlock().Scan("t1", "a").Scan("t2", "b").Scan("t3", "c").
+			Cmp("a.v", expr.LT, 33).
+			Join("a.fk", "b.id").Join("b.fk", "c.id").
+			GroupBy("a.v").Sum("b.v").Query("q1")
+		q2 := logical.NewBlock().Scan("t1", "x").Scan("t2", "y").
+			Cmp("x.v", expr.LT, 33).
+			Join("x.fk", "y.id").Query("q2")
+		return build(t, q1, q2)
+	}
+	m1, m2 := mk(), mk()
+	if m1.NumGroups() != m2.NumGroups() || m1.NumExprs() != m2.NumExprs() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			m1.NumGroups(), m1.NumExprs(), m2.NumGroups(), m2.NumExprs())
+	}
+	for i := 0; i < m1.NumGroups(); i++ {
+		g1, g2 := m1.Group(GroupID(i)), m2.Group(GroupID(i))
+		if g1.Sig != g2.Sig {
+			t.Fatalf("group %d sig %q vs %q", i, g1.Sig, g2.Sig)
+		}
+		if g1.Props.Rows != g2.Props.Rows || g1.Props.Width != g2.Props.Width {
+			t.Fatalf("group %d props differ", i)
+		}
+		if len(g1.Exprs) != len(g2.Exprs) {
+			t.Fatalf("group %d expr count %d vs %d", i, len(g1.Exprs), len(g2.Exprs))
+		}
+	}
+}
+
+// TestAliasIndependence verifies that renaming every alias in a query does
+// not change the DAG shape — the canonical-alias machinery at work.
+func TestAliasIndependence(t *testing.T) {
+	mk := func(a, b, c string) *Memo {
+		q := logical.NewBlock().Scan("t1", a).Scan("t2", b).Scan("t3", c).
+			Cmp(a+".v", expr.LT, 10).
+			Join(a+".fk", b+".id").Join(b+".fk", c+".id").
+			Query("q")
+		return build(t, q)
+	}
+	m1 := mk("a", "b", "c")
+	m2 := mk("zz", "q7", "xx")
+	if m1.NumGroups() != m2.NumGroups() || m1.NumExprs() != m2.NumExprs() {
+		t.Fatalf("alias renaming changed the DAG: %d/%d vs %d/%d",
+			m1.NumGroups(), m1.NumExprs(), m2.NumGroups(), m2.NumExprs())
+	}
+	for i := 0; i < m1.NumGroups(); i++ {
+		if m1.Group(GroupID(i)).Sig != m2.Group(GroupID(i)).Sig {
+			t.Fatalf("group %d sig differs across alias renamings", i)
+		}
+	}
+}
+
+// TestCrossQuerySharingIsAliasIndependent puts the same subexpression in
+// two queries under different aliases and checks it unifies.
+func TestCrossQuerySharingIsAliasIndependent(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		a1 := fmt.Sprintf("u%d", trial)
+		a2 := fmt.Sprintf("w%d", trial*7)
+		q1 := logical.NewBlock().Scan("t1", a1).Scan("t2", "p").
+			Cmp(a1+".v", expr.LT, 42).
+			Join(a1+".fk", "p.id").Query("q1")
+		q2 := logical.NewBlock().Scan("t1", a2).Scan("t2", "zz").
+			Cmp(a2+".v", expr.LT, 42).
+			Join(a2+".fk", "zz.id").Query("q2")
+		m := build(t, q1, q2)
+		if m.QueryRoots[0] != m.QueryRoots[1] {
+			t.Fatalf("trial %d: identical queries under different aliases did not unify", trial)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package memo
+
+import "sort"
+
+// Shareable returns the equivalence nodes worth considering for
+// materialization: groups consumable from at least two distinct contexts
+// (different queries, different blocks of one query, or via subsumption
+// derivations), excluding unfiltered base-relation scans (materializing a
+// verbatim copy of a stored table can never reduce cost). Restricting the
+// search to shareable nodes is the first optimization of Section 5.1,
+// carried over from Roy et al.
+func (m *Memo) Shareable() []GroupID {
+	var out []GroupID
+	for _, g := range m.groups {
+		if len(g.Consumers) < 2 {
+			continue
+		}
+		if g.Leaf && !g.BasePred {
+			continue
+		}
+		out = append(out, g.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bitset helpers for the incremental bestCost cache: every group knows
+// which shareable nodes are reachable below it (including itself), so a
+// cost computed for (group, order) can be reused across bestCost calls
+// whenever the materialization set restricted to those nodes is unchanged.
+
+// ShareIndex maps shareable group ids to dense bit positions.
+type ShareIndex struct {
+	pos   map[GroupID]int
+	words int
+	desc  map[GroupID][]uint64
+	memo  *Memo
+}
+
+// NewShareIndex builds the index for the memo's shareable set.
+func (m *Memo) NewShareIndex() *ShareIndex {
+	sh := m.Shareable()
+	si := &ShareIndex{
+		pos:   make(map[GroupID]int, len(sh)),
+		words: (len(sh) + 63) / 64,
+		desc:  map[GroupID][]uint64{},
+		memo:  m,
+	}
+	if si.words == 0 {
+		si.words = 1
+	}
+	for i, id := range sh {
+		si.pos[id] = i
+	}
+	return si
+}
+
+// Pos returns the bit position of a shareable group, or -1.
+func (si *ShareIndex) Pos(id GroupID) int {
+	p, ok := si.pos[id]
+	if !ok {
+		return -1
+	}
+	return p
+}
+
+// Len returns the number of shareable nodes.
+func (si *ShareIndex) Len() int { return len(si.pos) }
+
+// Descendants returns the bitset of shareable nodes reachable at or below
+// the group (memoized; the DAG is acyclic).
+func (si *ShareIndex) Descendants(id GroupID) []uint64 {
+	if bs, ok := si.desc[id]; ok {
+		return bs
+	}
+	bs := make([]uint64, si.words)
+	si.desc[id] = bs // pre-insert: DAG is acyclic so no true cycles, but be safe
+	if p, ok := si.pos[id]; ok {
+		bs[p/64] |= 1 << uint(p%64)
+	}
+	for _, e := range si.memo.Group(id).Exprs {
+		for _, c := range e.Children {
+			for w, v := range si.Descendants(c) {
+				bs[w] |= v
+			}
+		}
+	}
+	si.desc[id] = bs
+	return bs
+}
+
+// MaskHash hashes the intersection of a materialization bitset with the
+// group's shareable descendants (FNV-1a over the masked words).
+func (si *ShareIndex) MaskHash(id GroupID, mat []uint64) uint64 {
+	desc := si.Descendants(id)
+	var h uint64 = 1469598103934665603
+	for w := range desc {
+		v := desc[w] & mat[w]
+		for i := 0; i < 8; i++ {
+			h ^= (v >> uint(8*i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// NewMatSet returns an empty materialization bitset sized for this index.
+func (si *ShareIndex) NewMatSet() []uint64 { return make([]uint64, si.words) }
+
+// Set marks a shareable group in the bitset; it reports whether the group
+// was shareable.
+func (si *ShareIndex) Set(mat []uint64, id GroupID) bool {
+	p, ok := si.pos[id]
+	if !ok {
+		return false
+	}
+	mat[p/64] |= 1 << uint(p%64)
+	return true
+}
+
+// Unset clears a shareable group's bit.
+func (si *ShareIndex) Unset(mat []uint64, id GroupID) {
+	if p, ok := si.pos[id]; ok {
+		mat[p/64] &^= 1 << uint(p%64)
+	}
+}
+
+// Has reports whether the group's bit is set.
+func (si *ShareIndex) Has(mat []uint64, id GroupID) bool {
+	p, ok := si.pos[id]
+	if !ok {
+		return false
+	}
+	return mat[p/64]&(1<<uint(p%64)) != 0
+}

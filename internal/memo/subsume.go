@@ -1,0 +1,105 @@
+package memo
+
+import (
+	"repro/internal/expr"
+)
+
+// subsumeSelections implements the select-subsumption rule: for two leaf
+// selections over the same base table where the stricter predicate implies
+// the looser one, the stricter result can alternatively be computed by
+// filtering the looser result. This creates the sharing opportunities the
+// paper's batched experiments rely on (the same query repeated with
+// different selection constants).
+func (m *Memo) subsumeSelections() {
+	byTable := map[string][]*Group{}
+	scanPred := map[GroupID]expr.Pred{}
+	for _, g := range m.groups {
+		if !g.Leaf {
+			continue
+		}
+		for _, e := range g.Exprs {
+			if e.Kind == OpScan {
+				byTable[e.Table] = append(byTable[e.Table], g)
+				scanPred[g.ID] = e.Pred
+				break
+			}
+		}
+	}
+	for _, groups := range byTable {
+		for _, a := range groups { // candidate stricter group
+			pa := scanPred[a.ID]
+			if pa.True() {
+				continue
+			}
+			for _, b := range groups { // candidate looser group
+				if a.ID == b.ID {
+					continue
+				}
+				pb := scanPred[b.ID]
+				paAnon := rewriteAlias(pa, CanonAlias(a.ID), "$")
+				pbAnon := rewriteAlias(pb, CanonAlias(b.ID), "$")
+				if paAnon.Fingerprint() == pbAnon.Fingerprint() {
+					continue // distinct occurrences of the same selection
+				}
+				if !paAnon.Implies(pbAnon) || pbAnon.Implies(paAnon) {
+					continue
+				}
+				// a = filter(b, pa) — re-apply the stricter predicate to
+				// b's output, whose columns carry b's canonical alias.
+				filterPred := rewriteAlias(pa, CanonAlias(a.ID), CanonAlias(b.ID))
+				m.addExpr(&MExpr{
+					Kind:     OpFilter,
+					Group:    a.ID,
+					Children: []GroupID{b.ID},
+					Pred:     filterPred,
+				})
+				for ctx := range a.Consumers {
+					m.addConsumer(b.ID, ctx)
+				}
+			}
+		}
+	}
+}
+
+// subsumeAggregates implements the aggregate-subsumption rule: an
+// aggregation can alternatively be computed by re-aggregating a finer
+// aggregation over the same input (its group-by being a strict superset),
+// because all supported aggregate functions (sum/count/min/max) are
+// decomposable.
+func (m *Memo) subsumeAggregates() {
+	type aggNode struct {
+		g     *Group
+		child GroupID
+		spec  expr.AggSpec
+	}
+	byChild := map[GroupID][]aggNode{}
+	for _, g := range m.groups {
+		for _, e := range g.Exprs {
+			if e.Kind == OpAgg {
+				byChild[e.Children[0]] = append(byChild[e.Children[0]], aggNode{g: g, child: e.Children[0], spec: *e.Spec})
+			}
+		}
+	}
+	for _, nodes := range byChild {
+		for _, coarse := range nodes {
+			for _, fine := range nodes {
+				if coarse.g.ID == fine.g.ID {
+					continue
+				}
+				if !coarse.spec.SubsumedBy(fine.spec) {
+					continue
+				}
+				sp := coarse.spec
+				m.addExpr(&MExpr{
+					Kind:     OpReAgg,
+					Group:    coarse.g.ID,
+					Children: []GroupID{fine.g.ID},
+					Spec:     &sp,
+				})
+				for ctx := range coarse.g.Consumers {
+					m.addConsumer(fine.g.ID, ctx)
+				}
+			}
+		}
+	}
+}

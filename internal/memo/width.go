@@ -1,0 +1,111 @@
+package memo
+
+import (
+	"strconv"
+	"strings"
+)
+
+// projectWidths applies the "project early" model: every leaf scan projects
+// to the columns referenced anywhere in the batch (join conditions,
+// predicates, aggregations), and intermediate widths are recomputed from
+// the projected leaf widths. Without this, intermediate results would
+// carry never-referenced payload columns (comments, addresses) and
+// materialization costs would be wildly overestimated — real
+// Volcano-style optimizers push projections to the scans.
+//
+// Widths only affect cost estimation (block counts); cardinalities and DAG
+// structure are untouched, so this runs once after the DAG is complete.
+func (m *Memo) projectWidths() {
+	needed := map[GroupID]map[string]bool{}
+	note := func(alias, column string) {
+		if !strings.HasPrefix(alias, "g") {
+			return
+		}
+		id, err := strconv.Atoi(alias[1:])
+		if err != nil || id < 0 || id >= len(m.groups) {
+			return
+		}
+		gid := GroupID(id)
+		if !m.groups[gid].Leaf {
+			return
+		}
+		if needed[gid] == nil {
+			needed[gid] = map[string]bool{}
+		}
+		needed[gid][column] = true
+	}
+	for _, g := range m.groups {
+		for _, e := range g.Exprs {
+			for _, c := range e.Pred.Conj {
+				note(c.Col.Alias, c.Col.Column)
+			}
+			for _, j := range e.Conds {
+				note(j.Left.Alias, j.Left.Column)
+				note(j.Right.Alias, j.Right.Column)
+			}
+			if e.Spec != nil {
+				for _, c := range e.Spec.GroupBy {
+					note(c.Alias, c.Column)
+				}
+				for _, a := range e.Spec.Aggs {
+					note(a.Col.Alias, a.Col.Column)
+				}
+			}
+		}
+	}
+
+	// Leaf widths: sum of the widths of the needed table columns (minimum
+	// one 8-byte column so row counts still occupy space).
+	for _, g := range m.groups {
+		if !g.Leaf {
+			continue
+		}
+		var table string
+		for _, e := range g.Exprs {
+			if e.Kind == OpScan {
+				table = e.Table
+				break
+			}
+		}
+		if table == "" {
+			continue // derived leaf (nested block root): handled below
+		}
+		t, ok := m.Cat.Table(table)
+		if !ok {
+			continue
+		}
+		w := 0
+		for col := range needed[g.ID] {
+			if c, ok := t.Column(col); ok {
+				w += c.Width
+			}
+		}
+		if w < 8 {
+			w = 8
+		}
+		g.Props.Width = w
+	}
+
+	// Non-leaf widths in id order (children always precede parents; every
+	// non-leaf group has a structural OpJoin or OpAgg derivation, and all
+	// derivations of a group agree on width).
+	for _, g := range m.groups {
+		if g.Leaf {
+			continue
+		}
+	derive:
+		for _, e := range g.Exprs {
+			switch e.Kind {
+			case OpJoin:
+				g.Props.Width = m.groups[e.Children[0]].Props.Width + m.groups[e.Children[1]].Props.Width
+				break derive
+			case OpAgg:
+				g.Props.Width = 8 * (len(e.Spec.GroupBy) + len(e.Spec.Aggs))
+				break derive
+			}
+		}
+		if g.Props.Width < 8 {
+			g.Props.Width = 8
+		}
+	}
+}

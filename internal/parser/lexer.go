@@ -1,0 +1,106 @@
+// Package parser implements a small SQL-like language for driving the
+// multi-query optimizer from the command line:
+//
+//	SELECT o.orderdate, SUM(l.extendedprice)
+//	FROM customer c, orders o, lineitem l
+//	WHERE c.custkey = o.custkey AND o.orderkey = l.orderkey
+//	  AND c.mktsegment = 1 AND o.orderdate < 1100
+//	GROUP BY o.orderdate;
+//
+// A batch is a sequence of such statements separated by semicolons;
+// comments run from "--" to end of line. Constants are numeric (the
+// workload layer maps categorical values to integers).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // ( ) , ; . * = < > <= >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int // byte offset for error messages
+	line int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+}
+
+// lex splits the source into tokens.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9' || c == '-' && l.nextIsDigit():
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			n, err := strconv.ParseFloat(l.src[start:l.pos], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad number %q", l.line, l.src[start:l.pos])
+			}
+			l.emit(token{kind: tokNumber, text: l.src[start:l.pos], num: n, pos: start})
+		case c == '<' || c == '>':
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			l.emit(token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
+		case strings.ContainsRune("(),;.*=", rune(c)):
+			l.emit(token{kind: tokSymbol, text: string(c), pos: l.pos})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", l.line, string(c))
+		}
+	}
+	l.emit(token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func (l *lexer) emit(t token) {
+	t.line = l.line
+	l.tokens = append(l.tokens, t)
+}
+
+func (l *lexer) nextIsDigit() bool {
+	return l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }

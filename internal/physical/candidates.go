@@ -1,0 +1,274 @@
+package physical
+
+import (
+	"sort"
+
+	"repro/internal/cardinality"
+	"repro/internal/expr"
+	"repro/internal/memo"
+)
+
+// candidate is one physical implementation choice for a group: its total
+// use-cost (children included) and the order it delivers.
+type candidate struct {
+	cost float64
+	out  Order
+	e    *memo.MExpr
+	op   string
+	// children requirements, used by plan extraction; for joins the
+	// sequence is (outer, inner) and swap records whether that sequence is
+	// the reverse of the mexpr's child order.
+	childOrds []Order
+	swap      bool
+	indexCol  string
+}
+
+// Physical operator names.
+const (
+	OpNameScan      = "tablescan"
+	OpNameIndexScan = "indexscan"
+	OpNameFilter    = "filter"
+	OpNameBNLJ      = "nlj"
+	OpNameMergeJoin = "mergejoin"
+	OpNameHashJoin  = "hashjoin"
+	OpNameSortAgg   = "sortagg"
+	OpNameHashAgg   = "hashagg"
+	OpNameReAgg     = "reagg"
+	OpNameSort      = "sort"
+	OpNameMatScan   = "matscan"
+)
+
+// candidates enumerates the implementations of a group that deliver the
+// required order natively (the sort enforcer is handled by the caller).
+// The required order also prunes: implementations whose delivered order
+// cannot satisfy it are skipped, except order-preserving filters which
+// forward the requirement to their input.
+func (c *sctx) candidates(g memo.GroupID, ord Order) []candidate {
+	grp := c.s.M.Group(g)
+	var out []candidate
+	for _, e := range grp.Exprs {
+		switch e.Kind {
+		case memo.OpScan:
+			out = append(out, c.scanCandidates(g, e, ord)...)
+		case memo.OpFilter:
+			// Order-preserving: request ord from the input directly.
+			child := e.Children[0]
+			cost := c.useCost(child, ord) + c.s.M.Model.FilterCost(c.s.blocks(child))
+			out = append(out, candidate{cost: cost, out: ord, e: e, op: OpNameFilter, childOrds: []Order{ord}})
+		case memo.OpJoin:
+			out = append(out, c.joinCandidates(g, e, ord)...)
+		case memo.OpAgg, memo.OpReAgg:
+			out = append(out, c.aggCandidates(g, e, ord)...)
+		}
+	}
+	return out
+}
+
+// scanInfo caches per-scan-mexpr constants.
+type scanInfo struct {
+	tableBlocks  float64
+	clusteredCol string // "" if none
+	indexes      []idxCand
+}
+
+type idxCand struct {
+	col        expr.Col
+	clustered  bool
+	matchRows  float64
+	matchBlk   float64
+	totalBlock float64
+}
+
+func (s *Searcher) scanInfoFor(e *memo.MExpr) *scanInfo {
+	if s.scanCache == nil {
+		s.scanCache = map[*memo.MExpr]*scanInfo{}
+	}
+	if si, ok := s.scanCache[e]; ok {
+		return si
+	}
+	t, _ := s.M.Cat.Table(e.Table)
+	si := &scanInfo{tableBlocks: s.M.Model.Blocks(t.Rows, t.RowWidth())}
+	if cix, ok := t.ClusteredIndex(); ok {
+		si.clusteredCol = cix.Column
+	}
+	alias := memo.CanonAlias(e.Group)
+	base := cardinality.BaseProps(t, alias)
+	for _, cmp := range e.Pred.Conj {
+		ix, ok := t.IndexOn(cmp.Col.Column)
+		if !ok {
+			continue
+		}
+		sel := cardinality.Selectivity(base, expr.Pred{Conj: []expr.Cmp{cmp}})
+		rows := t.Rows * sel
+		si.indexes = append(si.indexes, idxCand{
+			col:        cmp.Col,
+			clustered:  ix.Clustered,
+			matchRows:  rows,
+			matchBlk:   s.M.Model.Blocks(rows, t.RowWidth()),
+			totalBlock: si.tableBlocks,
+		})
+	}
+	s.scanCache[e] = si
+	return si
+}
+
+func (c *sctx) scanCandidates(g memo.GroupID, e *memo.MExpr, ord Order) []candidate {
+	m := c.s.M.Model
+	si := c.s.scanInfoFor(e)
+	var out []candidate
+
+	// Full sequential scan (+ filter). A clustered table is stored in
+	// clustered-key order, so the scan delivers that order.
+	var scanOrd Order
+	if si.clusteredCol != "" {
+		scanOrd = Order{{Alias: memo.CanonAlias(g), Column: si.clusteredCol}}
+	}
+	cost := m.ScanCost(si.tableBlocks)
+	if !e.Pred.True() {
+		cost += m.FilterCost(si.tableBlocks)
+	}
+	if scanOrd.Satisfies(ord) {
+		out = append(out, candidate{cost: cost, out: scanOrd, e: e, op: OpNameScan})
+	}
+
+	// Indexed selection per indexed conjunct; delivers index-column order.
+	for _, ix := range si.indexes {
+		ixOrd := Order{ix.col}
+		if !ixOrd.Satisfies(ord) {
+			continue
+		}
+		cost := m.IndexScanCost(ix.totalBlock, ix.matchBlk, ix.matchRows, ix.clustered)
+		if len(e.Pred.Conj) > 1 {
+			cost += m.FilterCost(ix.matchBlk) // residual predicate
+		}
+		out = append(out, candidate{cost: cost, out: ixOrd, e: e, op: OpNameIndexScan, indexCol: ix.col.Column})
+	}
+	return out
+}
+
+func (c *sctx) joinCandidates(g memo.GroupID, e *memo.MExpr, ord Order) []candidate {
+	m := c.s.M.Model
+	outBlocks := c.s.blocks(g)
+	var out []candidate
+	a, b := e.Children[0], e.Children[1]
+	aBlocks, bBlocks := c.s.blocks(a), c.s.blocks(b)
+
+	// Block nested-loops join, both operand orders. Delivers no order;
+	// when an order is required the enforcer path in compute() covers it.
+	if ord.Empty() {
+		for swap := 0; swap < 2; swap++ {
+			outer, inner := a, b
+			if swap == 1 {
+				outer, inner = b, a
+			}
+			oB, iB := c.s.blocks(outer), c.s.blocks(inner)
+			local := m.BNLJCost(oB, iB, outBlocks, c.rescannable(inner))
+			cost := c.useCost(outer, nil) + c.useCost(inner, nil) + local
+			out = append(out, candidate{
+				cost: cost, out: nil, e: e, op: OpNameBNLJ,
+				childOrds: []Order{nil, nil}, swap: swap == 1,
+			})
+		}
+	}
+
+	// Hash join (extended operator set only): builds on the smaller side,
+	// delivers no order.
+	if c.s.ExtendedOps && ord.Empty() {
+		for swap := 0; swap < 2; swap++ {
+			build, probe := a, b
+			if swap == 1 {
+				build, probe = b, a
+			}
+			local := m.HashJoinCost(c.s.blocks(build), c.s.blocks(probe), outBlocks)
+			cost := c.useCost(build, nil) + c.useCost(probe, nil) + local
+			out = append(out, candidate{
+				cost: cost, out: nil, e: e, op: OpNameHashJoin,
+				childOrds: []Order{nil, nil}, swap: swap == 1,
+			})
+		}
+	}
+
+	// Merge join: children sorted on the join columns; delivers the outer
+	// (left) column order.
+	ordA, ordB, ok := c.mergeOrders(a, b, e.Conds)
+	if ok {
+		if ordA.Satisfies(ord) {
+			cost := c.useCost(a, ordA) + c.useCost(b, ordB) + m.MergeJoinCost(aBlocks, bBlocks, outBlocks)
+			out = append(out, candidate{cost: cost, out: ordA, e: e, op: OpNameMergeJoin, childOrds: []Order{ordA, ordB}})
+		}
+		if ordB.Satisfies(ord) {
+			cost := c.useCost(b, ordB) + c.useCost(a, ordA) + m.MergeJoinCost(bBlocks, aBlocks, outBlocks)
+			out = append(out, candidate{cost: cost, out: ordB, e: e, op: OpNameMergeJoin, childOrds: []Order{ordB, ordA}, swap: true})
+		}
+	}
+	return out
+}
+
+// mergeOrders splits the join conditions into the column sequences each
+// child must be sorted on, in a deterministic condition order.
+func (c *sctx) mergeOrders(a, b memo.GroupID, conds []expr.EqJoin) (Order, Order, bool) {
+	ap := c.s.M.Group(a).Props
+	type pair struct{ ca, cb expr.Col }
+	pairs := make([]pair, 0, len(conds))
+	for _, j := range conds {
+		if _, inA := ap.Cols[j.Left]; inA {
+			pairs = append(pairs, pair{j.Left, j.Right})
+		} else {
+			pairs = append(pairs, pair{j.Right, j.Left})
+		}
+	}
+	sort.Slice(pairs, func(i, k int) bool { return pairs[i].ca.String() < pairs[k].ca.String() })
+	var ordA, ordB Order
+	seenA := map[expr.Col]bool{}
+	for _, p := range pairs {
+		if seenA[p.ca] {
+			continue
+		}
+		seenA[p.ca] = true
+		ordA = append(ordA, p.ca)
+		ordB = append(ordB, p.cb)
+	}
+	return ordA, ordB, len(ordA) > 0
+}
+
+func (c *sctx) aggCandidates(g memo.GroupID, e *memo.MExpr, ord Order) []candidate {
+	m := c.s.M.Model
+	child := e.Children[0]
+	childBlocks := c.s.blocks(child)
+	spec := e.Spec
+	op := OpNameSortAgg
+	if e.Kind == memo.OpReAgg {
+		op = OpNameReAgg
+	}
+	if len(spec.GroupBy) == 0 {
+		// Scalar aggregation over any input order.
+		if !ord.Empty() {
+			return nil
+		}
+		cost := c.useCost(child, nil) + m.AggCost(childBlocks)
+		return []candidate{{cost: cost, out: nil, e: e, op: op, childOrds: []Order{nil}}}
+	}
+	gb := append(Order(nil), spec.GroupBy...)
+	sort.Slice(gb, func(i, j int) bool { return gb[i].String() < gb[j].String() })
+	var out []candidate
+	if gb.Satisfies(ord) {
+		cost := c.useCost(child, gb) + m.AggCost(childBlocks)
+		out = append(out, candidate{cost: cost, out: gb, e: e, op: op, childOrds: []Order{gb}})
+	}
+	// Hash aggregation (extended operator set only): unsorted input,
+	// unordered output.
+	if c.s.ExtendedOps && ord.Empty() && e.Kind == memo.OpAgg {
+		cost := c.useCost(child, nil) + m.HashAggCost(childBlocks, c.s.blocks(g))
+		out = append(out, candidate{cost: cost, out: nil, e: e, op: OpNameHashAgg, childOrds: []Order{nil}})
+	}
+	return out
+}
+
+// rescannable reports whether re-reading the group costs only I/O: an
+// unfiltered base relation (re-scan the table) or a result materialized
+// under the current set. Filtered leaves and intermediate results must be
+// spilled to a temporary file first, which BNLJCost charges.
+func (c *sctx) rescannable(g memo.GroupID) bool {
+	grp := c.s.M.Group(g)
+	return (grp.Leaf && !grp.BasePred) || c.mat[g]
+}

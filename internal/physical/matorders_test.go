@@ -1,0 +1,59 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMatOrdersNeverIncreaseCost(t *testing.T) {
+	// Storing materializations in their delivered order only lets
+	// consumers skip sorts: bc(S) with MatOrders ≤ bc(S) without, for
+	// every S.
+	with := buildSearcher(t, sharedPairQueries()...)
+	without := buildSearcher(t, sharedPairQueries()...)
+	without.MatOrders = false
+	sh := with.M.Shareable()
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		set := NodeSet{}
+		for _, id := range sh {
+			if r.Intn(2) == 0 {
+				set[id] = true
+			}
+		}
+		w, wo := with.BestCost(set), without.BestCost(set)
+		if w > wo+1e-6 {
+			t.Fatalf("MatOrders increased cost: %v > %v for S=%v", w, wo, set)
+		}
+	}
+}
+
+func TestMatOrdersPlanStillValidates(t *testing.T) {
+	s := buildSearcher(t, sharedPairQueries()...)
+	sh := s.M.Shareable()
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 15; trial++ {
+		set := NodeSet{}
+		for _, id := range sh {
+			if r.Intn(2) == 0 {
+				set[id] = true
+			}
+		}
+		plan := s.BestPlan(set)
+		if err := s.ValidatePlan(plan, set); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if diff := plan.Total - s.BestCost(set); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("trial %d: plan total %v != bestCost %v", trial, plan.Total, s.BestCost(set))
+		}
+	}
+}
+
+func TestMatOrdersEmptySetUnaffected(t *testing.T) {
+	with := buildSearcher(t, sharedPairQueries()...)
+	without := buildSearcher(t, sharedPairQueries()...)
+	without.MatOrders = false
+	if a, b := with.BestCost(NodeSet{}), without.BestCost(NodeSet{}); a != b {
+		t.Errorf("bc(∅) differs with MatOrders: %v vs %v", a, b)
+	}
+}

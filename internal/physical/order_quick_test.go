@@ -1,0 +1,69 @@
+package physical
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+// mkOrder builds an order of up to 4 columns from a seed.
+func mkOrder(seed uint32) Order {
+	cols := []expr.Col{
+		{Alias: "g1", Column: "a"},
+		{Alias: "g1", Column: "b"},
+		{Alias: "g2", Column: "c"},
+		{Alias: "g2", Column: "d"},
+	}
+	n := int(seed % 5)
+	var o Order
+	for i := 0; i < n; i++ {
+		o = append(o, cols[int(seed>>(2*uint(i)))%len(cols)])
+	}
+	return o
+}
+
+func TestOrderSatisfiesReflexive(t *testing.T) {
+	f := func(seed uint32) bool {
+		o := mkOrder(seed)
+		return o.Satisfies(o)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderSatisfiesPrefixTransitive(t *testing.T) {
+	// If o satisfies p and p satisfies q then o satisfies q.
+	f := func(seed uint32, cut1, cut2 uint8) bool {
+		o := mkOrder(seed)
+		p := o[:int(cut1)%(len(o)+1)]
+		q := p[:int(cut2)%(len(p)+1)]
+		return o.Satisfies(p) && p.Satisfies(q) && o.Satisfies(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderEverySatisfiesNil(t *testing.T) {
+	f := func(seed uint32) bool { return mkOrder(seed).Satisfies(nil) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderKeyInjectiveOnSamples(t *testing.T) {
+	seen := map[string]string{}
+	for seed := uint32(0); seed < 4000; seed++ {
+		o := mkOrder(seed)
+		repr := ""
+		for _, c := range o {
+			repr += c.String() + ";"
+		}
+		if prev, ok := seen[o.Key()]; ok && prev != repr {
+			t.Fatalf("Order.Key collision: %q vs %q", prev, repr)
+		}
+		seen[o.Key()] = repr
+	}
+}

@@ -1,0 +1,231 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/memo"
+)
+
+// PlanNode is one operator of an extracted physical plan.
+type PlanNode struct {
+	Op       string
+	Group    memo.GroupID
+	Table    string // tablescan/indexscan
+	IndexCol string // indexscan
+	Pred     expr.Pred
+	Conds    []expr.EqJoin
+	Spec     *expr.AggSpec
+	Order    Order // delivered order
+	Children []*PlanNode
+
+	Rows float64 // estimated output rows
+	Cost float64 // cumulative use-cost of the subtree
+}
+
+// MatStep is one materialization of the consolidated plan: the plan that
+// computes a shared node plus the cost of writing it out.
+type MatStep struct {
+	Group     memo.GroupID
+	Plan      *PlanNode
+	WriteCost float64
+}
+
+// ConsolidatedPlan is the full MQO result: materialization steps in
+// dependency order followed by one plan per query.
+type ConsolidatedPlan struct {
+	Steps      []MatStep
+	Queries    []*PlanNode
+	QueryNames []string
+	Total      float64
+}
+
+// BestPlan extracts the optimal consolidated plan for the given
+// materialization set. Its Total equals BestCost(mat).
+func (s *Searcher) BestPlan(mat NodeSet) *ConsolidatedPlan {
+	c := s.newCtx(mat)
+	cp := &ConsolidatedPlan{QueryNames: append([]string(nil), s.M.QueryNames...)}
+	ids := sortedSet(mat)
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := s.depth(ids[i]), s.depth(ids[j])
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		p := c.extractCompute(id, nil)
+		w := s.matWriteCost(id)
+		cp.Steps = append(cp.Steps, MatStep{Group: id, Plan: p, WriteCost: w})
+		cp.Total += p.Cost + w
+	}
+	for _, root := range s.M.QueryRoots {
+		p := c.extractUse(root, nil)
+		cp.Queries = append(cp.Queries, p)
+		cp.Total += p.Cost
+	}
+	return cp
+}
+
+// depth returns the height of a group in the DAG (leaves are 0), used to
+// order materialization steps so dependencies are computed first.
+func (s *Searcher) depth(g memo.GroupID) int {
+	if s.depthCache == nil {
+		s.depthCache = map[memo.GroupID]int{}
+	}
+	if d, ok := s.depthCache[g]; ok {
+		return d
+	}
+	s.depthCache[g] = 0
+	d := 0
+	for _, e := range s.M.Group(g).Exprs {
+		for _, ch := range e.Children {
+			if cd := s.depth(ch) + 1; cd > d {
+				d = cd
+			}
+		}
+	}
+	s.depthCache[g] = d
+	return d
+}
+
+// extractUse mirrors useCost, returning the chosen plan.
+func (c *sctx) extractUse(g memo.GroupID, ord Order) *PlanNode {
+	compCost := c.compute(g, ord)
+	if c.mat[g] {
+		alt, needSort := c.matUseCost(g, ord)
+		if alt < compCost {
+			node := &PlanNode{
+				Op:    OpNameMatScan,
+				Group: g,
+				Order: c.stored[g],
+				Rows:  c.s.M.Group(g).Props.Rows,
+				Cost:  c.s.matReadCost(g),
+			}
+			if needSort {
+				node = &PlanNode{
+					Op:       OpNameSort,
+					Group:    g,
+					Order:    ord,
+					Children: []*PlanNode{node},
+					Rows:     node.Rows,
+					Cost:     alt,
+				}
+			}
+			return node
+		}
+	}
+	return c.extractCompute(g, ord)
+}
+
+// extractCompute mirrors compute, returning the chosen plan.
+func (c *sctx) extractCompute(g memo.GroupID, ord Order) *PlanNode {
+	best := c.compute(g, ord)
+	for _, cand := range c.candidates(g, ord) {
+		if cand.cost <= best+1e-9 {
+			return c.buildPlan(g, cand)
+		}
+	}
+	// Enforcer: compute unordered, then sort.
+	if !ord.Empty() {
+		child := c.extractCompute(g, nil)
+		return &PlanNode{
+			Op:       OpNameSort,
+			Group:    g,
+			Order:    ord,
+			Children: []*PlanNode{child},
+			Rows:     child.Rows,
+			Cost:     child.Cost + c.s.sortCost(g),
+		}
+	}
+	panic(fmt.Sprintf("physical: no plan for group %d (internal error)", g))
+}
+
+func (c *sctx) buildPlan(g memo.GroupID, cand candidate) *PlanNode {
+	grp := c.s.M.Group(g)
+	node := &PlanNode{
+		Op:       cand.op,
+		Group:    g,
+		Order:    cand.out,
+		Rows:     grp.Props.Rows,
+		Cost:     cand.cost,
+		IndexCol: cand.indexCol,
+	}
+	e := cand.e
+	switch e.Kind {
+	case memo.OpScan:
+		node.Table = e.Table
+		node.Pred = e.Pred
+	case memo.OpFilter:
+		node.Pred = e.Pred
+		node.Children = []*PlanNode{c.extractUse(e.Children[0], cand.childOrds[0])}
+	case memo.OpJoin:
+		node.Conds = e.Conds
+		first, second := e.Children[0], e.Children[1]
+		if cand.swap {
+			first, second = second, first
+		}
+		node.Children = []*PlanNode{
+			c.extractUse(first, cand.childOrds[0]),
+			c.extractUse(second, cand.childOrds[1]),
+		}
+	case memo.OpAgg, memo.OpReAgg:
+		node.Spec = e.Spec
+		node.Children = []*PlanNode{c.extractUse(e.Children[0], cand.childOrds[0])}
+	}
+	return node
+}
+
+// String renders the consolidated plan for humans.
+func (cp *ConsolidatedPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "consolidated plan: total estimated cost %.1f ms\n", cp.Total)
+	for i, st := range cp.Steps {
+		fmt.Fprintf(&b, "materialize[%d] group %d (write %.1f ms):\n", i, st.Group, st.WriteCost)
+		writePlan(&b, st.Plan, 1)
+	}
+	for i, q := range cp.Queries {
+		name := fmt.Sprintf("query %d", i)
+		if i < len(cp.QueryNames) {
+			name = cp.QueryNames[i]
+		}
+		fmt.Fprintf(&b, "%s:\n", name)
+		writePlan(&b, q, 1)
+	}
+	return b.String()
+}
+
+func writePlan(b *strings.Builder, n *PlanNode, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s", n.Op)
+	switch n.Op {
+	case OpNameScan:
+		fmt.Fprintf(b, "(%s)", n.Table)
+		if !n.Pred.True() {
+			fmt.Fprintf(b, " σ[%s]", n.Pred)
+		}
+	case OpNameIndexScan:
+		fmt.Fprintf(b, "(%s on %s)", n.Table, n.IndexCol)
+		if !n.Pred.True() {
+			fmt.Fprintf(b, " σ[%s]", n.Pred)
+		}
+	case OpNameFilter:
+		fmt.Fprintf(b, " σ[%s]", n.Pred)
+	case OpNameMergeJoin, OpNameHashJoin, OpNameBNLJ:
+		fmt.Fprintf(b, " [%s]", expr.JoinFingerprint(n.Conds))
+	case OpNameSortAgg, OpNameHashAgg, OpNameReAgg:
+		if n.Spec != nil {
+			fmt.Fprintf(b, " [%s]", n.Spec.Fingerprint())
+		}
+	case OpNameSort:
+		fmt.Fprintf(b, " [%s]", n.Order.Key())
+	case OpNameMatScan:
+		fmt.Fprintf(b, "(group %d)", n.Group)
+	}
+	fmt.Fprintf(b, "  rows=%.0f cost=%.1f\n", n.Rows, n.Cost)
+	for _, c := range n.Children {
+		writePlan(b, c, depth+1)
+	}
+}

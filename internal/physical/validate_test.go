@@ -1,0 +1,73 @@
+package physical
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestValidatePlanAcceptsExtractedPlans(t *testing.T) {
+	s := buildSearcher(t, sharedPairQueries()...)
+	sh := s.M.Shareable()
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		set := NodeSet{}
+		for _, id := range sh {
+			if r.Intn(2) == 0 {
+				set[id] = true
+			}
+		}
+		plan := s.BestPlan(set)
+		if err := s.ValidatePlan(plan, set); err != nil {
+			t.Fatalf("trial %d (S=%v): %v", trial, set, err)
+		}
+	}
+}
+
+func TestValidatePlanCatchesTampering(t *testing.T) {
+	s := buildSearcher(t, sharedPairQueries()...)
+	set := NodeSet{}
+	for _, id := range s.M.Shareable() {
+		set[id] = true
+		break
+	}
+	cases := []struct {
+		name   string
+		mutate func(cp *ConsolidatedPlan)
+		want   string
+	}{
+		{"total", func(cp *ConsolidatedPlan) { cp.Total += 1000 }, "recomputed total"},
+		{"writeCost", func(cp *ConsolidatedPlan) { cp.Steps[0].WriteCost *= 2 }, "write cost"},
+		{"subtree", func(cp *ConsolidatedPlan) {
+			n := cp.Queries[0]
+			for len(n.Children) > 0 {
+				n = n.Children[0]
+			}
+			n.Cost = -5
+		}, "cost"},
+		{"missingStep", func(cp *ConsolidatedPlan) { cp.Steps = nil }, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			plan := s.BestPlan(set)
+			c.mutate(plan)
+			err := s.ValidatePlan(plan, set)
+			if err == nil {
+				t.Fatal("tampered plan accepted")
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidatePlanExtendedOps(t *testing.T) {
+	s := buildSearcher(t, sharedPairQueries()...)
+	s.ExtendedOps = true
+	set := NodeSet{}
+	plan := s.BestPlan(set)
+	if err := s.ValidatePlan(plan, set); err != nil {
+		t.Fatalf("extended-ops plan rejected: %v", err)
+	}
+}

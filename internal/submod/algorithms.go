@@ -1,0 +1,436 @@
+package submod
+
+import (
+	"container/heap"
+	"math"
+)
+
+// epsCost is the threshold below which an element's additive cost is
+// treated as non-positive ("free"): MarginalGreedy appends such elements at
+// the end, which can only increase f (f_M is monotone and −c(e) ≥ 0).
+const epsCost = 1e-12
+
+// Result is the output of a maximization algorithm.
+type Result struct {
+	Set        Set
+	Value      float64
+	Iterations int
+	// Pruned counts elements permanently removed by the ratio<1
+	// optimization of Section 5.1.
+	Pruned int
+}
+
+// MarginalGreedy is Algorithm 2 of the paper: while some element has
+// marginal-benefit to cost ratio f'_M(x,X)/c(x) > 1, add the element with
+// the maximum ratio; finally add every element with non-positive cost.
+// Elements observed with ratio < 1 are permanently discarded
+// (Section 5.1): by submodularity their ratio can only decrease.
+func MarginalGreedy(d *Decomposition) Result {
+	x := Set{}
+	var y, free []int
+	for e := 0; e < d.o.N(); e++ {
+		if d.C[e] > epsCost {
+			y = append(y, e)
+		} else {
+			free = append(free, e)
+		}
+	}
+	res := Result{}
+	for len(y) > 0 {
+		res.Iterations++
+		bestE, bestR := -1, math.Inf(-1)
+		keep := y[:0]
+		for _, e := range y {
+			r := d.Ratio(e, x)
+			if r < 1 {
+				res.Pruned++
+				continue // permanently pruned
+			}
+			keep = append(keep, e)
+			if r > bestR {
+				bestR, bestE = r, e
+			}
+		}
+		y = keep
+		if bestE < 0 || bestR <= 1 {
+			break
+		}
+		x = x.With(bestE)
+		y = remove(y, bestE)
+	}
+	x = addFree(d, x, free)
+	res.Set = x
+	res.Value = d.F(x)
+	return res
+}
+
+// addFree appends the non-positive-cost elements. Under the paper's
+// submodularity assumption each such element can only raise f (f_M is
+// monotone and −c(e) ≥ 0), so the final set — and hence f — is the same in
+// any insertion order. Because a real bestCost oracle may violate the
+// assumption slightly, elements are added greedily by marginal gain and
+// skipped once their marginal gain turns negative; both choices are no-ops
+// whenever the assumption holds.
+func addFree(d *Decomposition, x Set, free []int) Set {
+	remaining := append([]int(nil), free...)
+	for len(remaining) > 0 {
+		cur := d.o.Eval(x)
+		bestE, bestGain := -1, math.Inf(-1)
+		for _, e := range remaining {
+			if gain := d.o.Eval(x.With(e)) - cur; gain > bestGain {
+				bestGain, bestE = gain, e
+			}
+		}
+		if bestGain < 0 {
+			break
+		}
+		x = x.With(bestE)
+		remaining = remove(remaining, bestE)
+	}
+	return x
+}
+
+// LazyMarginalGreedy is the Section 5.2 variant: a max-heap of stale upper
+// bounds on each element's ratio. Because f_M is submodular, a recomputed
+// ratio that still dominates the heap top is the true maximum, avoiding
+// O(n) recomputation per iteration. It returns exactly the same set as
+// MarginalGreedy.
+func LazyMarginalGreedy(d *Decomposition) Result {
+	x := Set{}
+	var free []int
+	h := &ratioHeap{}
+	for e := 0; e < d.o.N(); e++ {
+		if d.C[e] > epsCost {
+			h.items = append(h.items, ratioItem{e: e, bound: math.Inf(1), fresh: false})
+		} else {
+			free = append(free, e)
+		}
+	}
+	heap.Init(h)
+	res := Result{}
+	for h.Len() > 0 {
+		top := h.items[0]
+		if top.fresh {
+			// The bound at the top is current: it is the true maximum.
+			if top.bound <= 1 {
+				break
+			}
+			heap.Pop(h)
+			x = x.With(top.e)
+			res.Iterations++
+			// All remaining bounds are stale with respect to the new X.
+			for i := range h.items {
+				h.items[i].fresh = false
+			}
+			continue
+		}
+		heap.Pop(h)
+		r := d.Ratio(top.e, x)
+		if r < 1 {
+			res.Pruned++
+			continue // permanently pruned (Section 5.1)
+		}
+		heap.Push(h, ratioItem{e: top.e, bound: r, fresh: true})
+	}
+	x = addFree(d, x, free)
+	res.Set = x
+	res.Value = d.F(x)
+	return res
+}
+
+type ratioItem struct {
+	e     int
+	bound float64
+	fresh bool
+}
+
+type ratioHeap struct{ items []ratioItem }
+
+func (h *ratioHeap) Len() int { return len(h.items) }
+func (h *ratioHeap) Less(i, j int) bool {
+	if h.items[i].bound != h.items[j].bound {
+		return h.items[i].bound > h.items[j].bound
+	}
+	return h.items[i].e < h.items[j].e
+}
+func (h *ratioHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *ratioHeap) Push(v interface{}) { h.items = append(h.items, v.(ratioItem)) }
+func (h *ratioHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	v := old[n-1]
+	h.items = old[:n-1]
+	return v
+}
+
+// Greedy is the benefit-greedy of Roy et al. [Algorithm 1]: at each step
+// add the element that maximizes f(X∪{x}) as long as f strictly improves.
+func Greedy(o *Oracle) Result {
+	x := Set{}
+	cur := o.Eval(x)
+	y := make([]int, o.N())
+	for i := range y {
+		y[i] = i
+	}
+	res := Result{}
+	for len(y) > 0 {
+		res.Iterations++
+		bestE, bestV := -1, math.Inf(-1)
+		for _, e := range y {
+			if v := o.Eval(x.With(e)); v > bestV {
+				bestV, bestE = v, e
+			}
+		}
+		if bestE < 0 || bestV <= cur {
+			break
+		}
+		x = x.With(bestE)
+		cur = bestV
+		y = remove(y, bestE)
+	}
+	res.Set = x
+	res.Value = cur
+	return res
+}
+
+// LazyGreedy is Greedy accelerated with the Minoux heap under the
+// supermodularity ("monotonicity heuristic") assumption on the cost, i.e.
+// submodularity of the benefit f. It returns the same set as Greedy when
+// the assumption holds.
+func LazyGreedy(o *Oracle) Result {
+	x := Set{}
+	h := &ratioHeap{}
+	for e := 0; e < o.N(); e++ {
+		h.items = append(h.items, ratioItem{e: e, bound: math.Inf(1), fresh: false})
+	}
+	heap.Init(h)
+	res := Result{}
+	for h.Len() > 0 {
+		top := h.items[0]
+		if top.fresh {
+			if top.bound <= 0 {
+				break
+			}
+			heap.Pop(h)
+			x = x.With(top.e)
+			res.Iterations++
+			for i := range h.items {
+				h.items[i].fresh = false
+			}
+			continue
+		}
+		heap.Pop(h)
+		ben := o.Eval(x.With(top.e)) - o.Eval(x)
+		heap.Push(h, ratioItem{e: top.e, bound: ben, fresh: true})
+	}
+	res.Set = x
+	res.Value = o.Eval(x)
+	return res
+}
+
+// Exhaustive returns the exact optimum by enumerating all subsets; the
+// universe must have at most 25 elements.
+func Exhaustive(o *Oracle) Result {
+	n := o.N()
+	if n > 25 {
+		panic("submod: exhaustive search limited to 25 elements")
+	}
+	best := Set{}
+	bestV := o.Eval(best)
+	for mask := uint64(1); mask < uint64(1)<<uint(n); mask++ {
+		s := Set{}
+		for e := 0; e < n; e++ {
+			if mask&(1<<uint(e)) != 0 {
+				s[e] = true
+			}
+		}
+		if v := o.Eval(s); v > bestV {
+			bestV, best = v, s
+		}
+	}
+	return Result{Set: best, Value: bestV}
+}
+
+// MarginalGreedyK is the cardinality-constrained variant of Section 5.3:
+// MarginalGreedy that stops after at most k selections (free elements
+// consume budget too, cheapest cost first).
+func MarginalGreedyK(d *Decomposition, k int) Result {
+	x := Set{}
+	var y, free []int
+	for e := 0; e < d.o.N(); e++ {
+		if d.C[e] > epsCost {
+			y = append(y, e)
+		} else {
+			free = append(free, e)
+		}
+	}
+	res := Result{}
+	for len(y) > 0 && len(x) < k {
+		res.Iterations++
+		bestE, bestR := -1, math.Inf(-1)
+		keep := y[:0]
+		for _, e := range y {
+			r := d.Ratio(e, x)
+			if r < 1 {
+				res.Pruned++
+				continue
+			}
+			keep = append(keep, e)
+			if r > bestR {
+				bestR, bestE = r, e
+			}
+		}
+		y = keep
+		if bestE < 0 || bestR <= 1 {
+			break
+		}
+		x = x.With(bestE)
+		y = remove(y, bestE)
+	}
+	sortByCost(free, d.C)
+	for _, e := range free {
+		if len(x) >= k {
+			break
+		}
+		if d.o.Eval(x.With(e)) >= d.o.Eval(x) {
+			x = x.With(e)
+		}
+	}
+	res.Set = x
+	res.Value = d.F(x)
+	return res
+}
+
+// ReduceUniverse implements the Theorem 4 preprocessing for a cardinality
+// constraint k: order the positive-cost elements by
+// f'_M(e, U∖{e})/c(e) descending and keep those with
+// f_M({e})/c(e) ≥ the k-th last-marginal ratio. Running MarginalGreedyK on
+// the reduced universe yields the same output as on the full universe.
+// Free (non-positive-cost) elements are always kept. When k ≥ n the full
+// universe is returned without any oracle calls (the Case 1 observation of
+// the proof: the check would be pure waste).
+func ReduceUniverse(d *Decomposition, k int) []int {
+	n := d.o.N()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if k >= n {
+		return all
+	}
+	var pos, free []int
+	for e := 0; e < n; e++ {
+		if d.C[e] > epsCost {
+			pos = append(pos, e)
+		} else {
+			free = append(free, e)
+		}
+	}
+	if len(pos) <= k {
+		return all
+	}
+	u := d.o.Universe()
+	fu := d.o.Eval(u)
+	lastRatio := make(map[int]float64, len(pos))
+	for _, e := range pos {
+		fm := fu - d.o.Eval(u.Without(e)) + d.C[e] // f'_M(e, U∖{e})
+		lastRatio[e] = fm / d.C[e]
+	}
+	ordered := append([]int(nil), pos...)
+	sortByRatioDesc(ordered, lastRatio)
+	threshold := lastRatio[ordered[k-1]]
+	var out []int
+	for _, e := range pos {
+		fmSingle := d.o.Eval(NewSet(e)) + d.C[e] // f_M({e})
+		if fmSingle/d.C[e] >= threshold {
+			out = append(out, e)
+		}
+	}
+	out = append(out, free...)
+	sortInts(out)
+	return out
+}
+
+// MarginalGreedyKOn runs MarginalGreedyK considering only the elements of
+// universe (original ids); used to verify the Theorem 4 universe
+// reduction.
+func MarginalGreedyKOn(d *Decomposition, k int, universe []int) Result {
+	x := Set{}
+	var y, free []int
+	for _, e := range universe {
+		if d.C[e] > epsCost {
+			y = append(y, e)
+		} else {
+			free = append(free, e)
+		}
+	}
+	res := Result{}
+	for len(y) > 0 && len(x) < k {
+		res.Iterations++
+		bestE, bestR := -1, math.Inf(-1)
+		keepY := y[:0]
+		for _, e := range y {
+			r := d.Ratio(e, x)
+			if r < 1 {
+				res.Pruned++
+				continue
+			}
+			keepY = append(keepY, e)
+			if r > bestR {
+				bestR, bestE = r, e
+			}
+		}
+		y = keepY
+		if bestE < 0 || bestR <= 1 {
+			break
+		}
+		x = x.With(bestE)
+		y = remove(y, bestE)
+	}
+	sortByCost(free, d.C)
+	for _, e := range free {
+		if len(x) >= k {
+			break
+		}
+		if d.o.Eval(x.With(e)) >= d.o.Eval(x) {
+			x = x.With(e)
+		}
+	}
+	res.Set = x
+	res.Value = d.F(x)
+	return res
+}
+
+func remove(xs []int, v int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sortByCost(xs []int, c []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && (c[xs[j]] < c[xs[j-1]] || (c[xs[j]] == c[xs[j-1]] && xs[j] < xs[j-1])); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortByRatioDesc(xs []int, r map[int]float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && (r[xs[j]] > r[xs[j-1]] || (r[xs[j]] == r[xs[j-1]] && xs[j] < xs[j-1])); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package submod
+
+import "math/rand"
+
+// Coverage is a weighted coverage function with additive element costs:
+// f(A) = w·|∪_{i∈A} S_i| − Σ_{i∈A} cost_i. It is normalized, submodular
+// and generally non-monotone — the standard test family for UNSM, and the
+// shape of the MQO materialization-benefit function (shared work covered
+// minus materialization cost).
+type Coverage struct {
+	Sets    [][]int // Sets[i] lists the ground elements covered by set i
+	GroundN int
+	Weight  float64
+	Costs   []float64
+}
+
+// N returns the number of sets.
+func (c *Coverage) N() int { return len(c.Sets) }
+
+// Eval returns f(A). Costs are summed in sorted element order so equal
+// sets evaluate bit-identically regardless of how they were built.
+func (c *Coverage) Eval(a Set) float64 {
+	covered := make(map[int]bool)
+	total := 0.0
+	for _, i := range a.Sorted() {
+		for _, g := range c.Sets[i] {
+			covered[g] = true
+		}
+		total -= c.Costs[i]
+	}
+	return total + c.Weight*float64(len(covered))
+}
+
+// RandomCoverage generates a deterministic random coverage instance:
+// n sets over a ground set of groundN elements, each set covering
+// setSize random elements, with costs uniform in [0, maxCost).
+func RandomCoverage(seed int64, n, groundN, setSize int, weight, maxCost float64) *Coverage {
+	r := rand.New(rand.NewSource(seed))
+	c := &Coverage{GroundN: groundN, Weight: weight}
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{}
+		var s []int
+		for len(s) < setSize {
+			g := r.Intn(groundN)
+			if !seen[g] {
+				seen[g] = true
+				s = append(s, g)
+			}
+		}
+		c.Sets = append(c.Sets, s)
+		c.Costs = append(c.Costs, r.Float64()*maxCost)
+	}
+	return c
+}
+
+// ProfittedMaxCoverage is Problem 1 of the paper — the instance family used
+// in the Theorem 2 hardness construction:
+//
+//	f_M(A) = ((γ+1)/γ)·|∪A|/n,   c(A) = (1/γ)·|A|/l,   f = f_M − c.
+//
+// When l sets cover the ground set exactly, the optimum value is 1 with
+// f(Θ)/c(Θ) = γ, so instances with known planted covers let us check the
+// Theorem 1 guarantee empirically.
+type ProfittedMaxCoverage struct {
+	Sets    [][]int
+	GroundN int
+	Gamma   float64
+	L       int
+}
+
+// N returns the number of sets.
+func (p *ProfittedMaxCoverage) N() int { return len(p.Sets) }
+
+// Eval returns f(A).
+func (p *ProfittedMaxCoverage) Eval(a Set) float64 {
+	covered := map[int]bool{}
+	for i := range a {
+		for _, g := range p.Sets[i] {
+			covered[g] = true
+		}
+	}
+	fm := (p.Gamma + 1) / p.Gamma * float64(len(covered)) / float64(p.GroundN)
+	c := float64(len(a)) / (p.Gamma * float64(p.L))
+	return fm - c
+}
+
+// ExplicitCosts returns the additive costs c({e}) = 1/(γ·l) of the
+// problem's own decomposition (every set costs the same).
+func (p *ProfittedMaxCoverage) ExplicitCosts() []float64 {
+	out := make([]float64, p.N())
+	for i := range out {
+		out[i] = 1 / (p.Gamma * float64(p.L))
+	}
+	return out
+}
+
+// PlantedInstance builds a Profitted Max Coverage instance with a planted
+// optimal cover: the ground set of size groundN is partitioned into l
+// planted sets (so optimal value 1 is achievable), plus extra random
+// overlapping sets that a greedy algorithm may be tempted by.
+func PlantedInstance(seed int64, groundN, l, extraSets, extraSize int, gamma float64) *ProfittedMaxCoverage {
+	r := rand.New(rand.NewSource(seed))
+	p := &ProfittedMaxCoverage{GroundN: groundN, Gamma: gamma, L: l}
+	perm := r.Perm(groundN)
+	per := groundN / l
+	for i := 0; i < l; i++ {
+		lo := i * per
+		hi := lo + per
+		if i == l-1 {
+			hi = groundN
+		}
+		p.Sets = append(p.Sets, append([]int(nil), perm[lo:hi]...))
+	}
+	for i := 0; i < extraSets; i++ {
+		seen := map[int]bool{}
+		var s []int
+		for len(s) < extraSize {
+			g := r.Intn(groundN)
+			if !seen[g] {
+				seen[g] = true
+				s = append(s, g)
+			}
+		}
+		p.Sets = append(p.Sets, s)
+	}
+	return p
+}

@@ -1,0 +1,208 @@
+// Package submod is a generic library for unconstrained, normalized
+// submodular maximization (UNSM) — the abstract problem the paper reduces
+// MQO to. The function f : 2^U → R is normalized (f(∅)=0) and may take
+// negative values. The central pieces are:
+//
+//   - the Proposition 1 decomposition f = f*_M − c* with
+//     c*(e) = f(U∖{e}) − f(U), shown by the paper to be the best possible
+//     decomposition;
+//   - the MarginalGreedy algorithm (Algorithm 2) with the Theorem 1
+//     guarantee f(X) ≥ [1 − (c(Θ)/f(Θ))·ln(1 + f(Θ)/c(Θ))]·f(Θ);
+//   - LazyMarginalGreedy (Section 5.2), the ratio<1 permanent pruning
+//     (Section 5.1), the cardinality-constrained variant with Theorem 4
+//     universe reduction (Section 5.3);
+//   - the classic benefit Greedy of Roy et al. for comparison, and an
+//     exhaustive optimizer for small universes;
+//   - coverage functions and the Profitted Max Coverage instances used in
+//     the Theorem 2 hardness construction, which we reuse to validate the
+//     approximation bound empirically.
+package submod
+
+import (
+	"math"
+	"sort"
+)
+
+// Set is a subset of the universe, represented by element indexes.
+type Set map[int]bool
+
+// NewSet builds a set from element indexes.
+func NewSet(elems ...int) Set {
+	s := make(Set, len(elems))
+	for _, e := range elems {
+		s[e] = true
+	}
+	return s
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s)+1)
+	for e := range s {
+		out[e] = true
+	}
+	return out
+}
+
+// With returns a copy with e added.
+func (s Set) With(e int) Set {
+	out := s.Clone()
+	out[e] = true
+	return out
+}
+
+// Without returns a copy with e removed.
+func (s Set) Without(e int) Set {
+	out := s.Clone()
+	delete(out, e)
+	return out
+}
+
+// Sorted returns the elements in increasing order.
+func (s Set) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Equal reports set equality.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for e := range s {
+		if !o[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders the set canonically for memoization.
+func (s Set) Key() uint64 {
+	// FNV-1a over the sorted elements.
+	var h uint64 = 1469598103934665603
+	for _, e := range s.Sorted() {
+		v := uint64(e)
+		for i := 0; i < 8; i++ {
+			h ^= (v >> uint(8*i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Function is a set function over a universe {0, …, N()-1}.
+type Function interface {
+	// N returns the universe size.
+	N() int
+	// Eval returns f(S).
+	Eval(s Set) float64
+}
+
+// Oracle wraps a Function with memoization and an evaluation counter, so
+// algorithms can be compared by the number of (potentially expensive)
+// oracle calls — in MQO each call is one bestCost optimization.
+type Oracle struct {
+	F     Function
+	Calls int
+
+	memo map[uint64]float64
+}
+
+// NewOracle wraps f.
+func NewOracle(f Function) *Oracle {
+	return &Oracle{F: f, memo: map[uint64]float64{}}
+}
+
+// Eval returns f(S), memoized.
+func (o *Oracle) Eval(s Set) float64 {
+	k := s.Key()
+	if v, ok := o.memo[k]; ok {
+		return v
+	}
+	o.Calls++
+	v := o.F.Eval(s)
+	o.memo[k] = v
+	return v
+}
+
+// N returns the universe size.
+func (o *Oracle) N() int { return o.F.N() }
+
+// Universe returns the full set.
+func (o *Oracle) Universe() Set {
+	s := make(Set, o.N())
+	for i := 0; i < o.N(); i++ {
+		s[i] = true
+	}
+	return s
+}
+
+// Decomposition is a split f = FM − C with FM monotone submodular and C
+// additive (C given by per-element costs).
+type Decomposition struct {
+	o *Oracle
+	// C holds the additive costs c({e}).
+	C []float64
+}
+
+// DecomposeStar computes the Proposition 1 decomposition:
+// c*(e) = f(U∖{e}) − f(U). It uses exactly n+1 oracle calls (for U and
+// each U∖{e}).
+func DecomposeStar(o *Oracle) *Decomposition {
+	u := o.Universe()
+	fu := o.Eval(u)
+	c := make([]float64, o.N())
+	for e := 0; e < o.N(); e++ {
+		c[e] = o.Eval(u.Without(e)) - fu
+	}
+	return &Decomposition{o: o, C: c}
+}
+
+// NewDecomposition builds a decomposition with explicit additive costs;
+// the caller asserts that f + Σ_{e∈S} cost(e) is monotone submodular.
+func NewDecomposition(o *Oracle, costs []float64) *Decomposition {
+	c := make([]float64, len(costs))
+	copy(c, costs)
+	return &Decomposition{o: o, C: c}
+}
+
+// F returns f(S).
+func (d *Decomposition) F(s Set) float64 { return d.o.Eval(s) }
+
+// FM returns the monotone part f_M(S) = f(S) + Σ_{e∈S} c(e).
+func (d *Decomposition) FM(s Set) float64 {
+	v := d.o.Eval(s)
+	for e := range s {
+		v += d.C[e]
+	}
+	return v
+}
+
+// MarginalFM returns f'_M(e, S) = f(S∪{e}) − f(S) + c(e) for e ∉ S.
+func (d *Decomposition) MarginalFM(e int, s Set) float64 {
+	return d.o.Eval(s.With(e)) - d.o.Eval(s) + d.C[e]
+}
+
+// Ratio returns f'_M(e, S) / c(e); callers must ensure c(e) > 0.
+func (d *Decomposition) Ratio(e int, s Set) float64 {
+	return d.MarginalFM(e, s) / d.C[e]
+}
+
+// Oracle returns the underlying oracle.
+func (d *Decomposition) Oracle() *Oracle { return d.o }
+
+// TheoremOneBound returns the Theorem 1 guarantee
+// [1 − (c/f)·ln(1 + f/c)]·f for the optimum value f = f(Θ) and its cost
+// c = c(Θ). For c ≤ 0 or f ≤ 0 the bound degenerates and 0 is returned.
+func TheoremOneBound(fTheta, cTheta float64) float64 {
+	if fTheta <= 0 || cTheta <= 0 {
+		return 0
+	}
+	gamma := fTheta / cTheta
+	return (1 - math.Log(1+gamma)/gamma) * fTheta
+}

@@ -1,0 +1,281 @@
+package tpcd
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// Variant selects the selection constants for a batched query; the paper
+// repeats every batched query twice with different constants for one
+// selection, which is what makes the select-subsumption sharing arise.
+type Variant int
+
+// Variants.
+const (
+	VariantA Variant = iota
+	VariantB
+)
+
+// Q3 is the shipping-priority query: customer ⋈ orders ⋈ lineitem with a
+// market-segment selection and date bounds, aggregating revenue by order
+// date. The variant changes the market-segment constant, so the expensive
+// σ(orders)⋈σ(lineitem) subexpression is identical across the pair.
+func Q3(v Variant) *logical.Query {
+	seg := 1.0
+	if v == VariantB {
+		seg = 2
+	}
+	return logical.NewBlock().
+		Scan("customer", "c").Scan("orders", "o").Scan("lineitem", "l").
+		Cmp("c.mktsegment", expr.EQ, seg).
+		Cmp("o.orderdate", expr.LT, 1100).
+		Cmp("l.shipdate", expr.GT, 1200).
+		Join("c.custkey", "o.custkey").
+		Join("o.orderkey", "l.orderkey").
+		GroupBy("o.orderdate").Sum("l.extendedprice").
+		Query(fmt.Sprintf("Q3%s", suffix(v)))
+}
+
+// Q5 is the local-supplier-volume query over six relations; the variant
+// changes the region, leaving the customer⋈orders⋈lineitem⋈supplier core
+// shared.
+func Q5(v Variant) *logical.Query {
+	region := 2.0
+	if v == VariantB {
+		region = 3
+	}
+	return logical.NewBlock().
+		Scan("customer", "c").Scan("orders", "o").Scan("lineitem", "l").
+		Scan("supplier", "s").Scan("nation", "n").Scan("region", "r").
+		Cmp("r.name", expr.EQ, region).
+		Cmp("o.orderdate", expr.GE, 300).
+		Join("c.custkey", "o.custkey").
+		Join("o.orderkey", "l.orderkey").
+		Join("l.suppkey", "s.suppkey").
+		Join("c.nationkey", "s.nationkey").
+		Join("s.nationkey", "n.nationkey").
+		Join("n.regionkey", "r.regionkey").
+		GroupBy("n.name").Sum("l.extendedprice").
+		Query(fmt.Sprintf("Q5%s", suffix(v)))
+}
+
+// Q7 is the volume-shipping query with two nation occurrences (a
+// self-join); the variant changes the customer-side nation, leaving the
+// supplier⋈lineitem⋈orders⋈customer core shared.
+func Q7(v Variant) *logical.Query {
+	cnation := 8.0
+	if v == VariantB {
+		cnation = 9
+	}
+	return logical.NewBlock().
+		Scan("supplier", "s").Scan("lineitem", "l").Scan("orders", "o").
+		Scan("customer", "c").Scan("nation", "n1").Scan("nation", "n2").
+		Cmp("n1.name", expr.EQ, 7).
+		Cmp("n2.name", expr.EQ, cnation).
+		Cmp("l.shipdate", expr.LT, 1500).
+		Join("s.suppkey", "l.suppkey").
+		Join("o.orderkey", "l.orderkey").
+		Join("c.custkey", "o.custkey").
+		Join("s.nationkey", "n1.nationkey").
+		Join("c.nationkey", "n2.nationkey").
+		GroupBy("l.shipdate").Sum("l.extendedprice").
+		Query(fmt.Sprintf("Q7%s", suffix(v)))
+}
+
+// Q8 is the national-market-share query over seven relations; the variant
+// changes the part type selection.
+func Q8(v Variant) *logical.Query {
+	ptype := 10.0
+	if v == VariantB {
+		ptype = 20
+	}
+	return logical.NewBlock().
+		Scan("part", "p").Scan("lineitem", "l").Scan("supplier", "s").
+		Scan("orders", "o").Scan("customer", "c").Scan("nation", "n").Scan("region", "r").
+		Cmp("p.type", expr.EQ, ptype).
+		Cmp("r.name", expr.EQ, 2).
+		Join("p.partkey", "l.partkey").
+		Join("s.suppkey", "l.suppkey").
+		Join("l.orderkey", "o.orderkey").
+		Join("o.custkey", "c.custkey").
+		Join("c.nationkey", "n.nationkey").
+		Join("n.regionkey", "r.regionkey").
+		GroupBy("o.orderdate").Sum("l.extendedprice").
+		Query(fmt.Sprintf("Q8%s", suffix(v)))
+}
+
+// Q9 is the product-type-profit query; the variant changes the part brand.
+func Q9(v Variant) *logical.Query {
+	brand := 5.0
+	if v == VariantB {
+		brand = 6
+	}
+	return logical.NewBlock().
+		Scan("part", "p").Scan("supplier", "s").Scan("lineitem", "l").
+		Scan("partsupp", "ps").Scan("orders", "o").Scan("nation", "n").
+		Cmp("p.brand", expr.EQ, brand).
+		Join("p.partkey", "l.partkey").
+		Join("s.suppkey", "l.suppkey").
+		Join("ps.partkey", "l.partkey").
+		Join("ps.suppkey", "l.suppkey").
+		Join("o.orderkey", "l.orderkey").
+		Join("s.nationkey", "n.nationkey").
+		GroupBy("n.name").Sum("l.extendedprice").
+		Query(fmt.Sprintf("Q9%s", suffix(v)))
+}
+
+// Q10 is the returned-item-reporting query; the variant changes the
+// orderdate lower bound.
+func Q10(v Variant) *logical.Query {
+	lo := 700.0
+	if v == VariantB {
+		lo = 400
+	}
+	return logical.NewBlock().
+		Scan("customer", "c").Scan("orders", "o").Scan("lineitem", "l").Scan("nation", "n").
+		Cmp("o.orderdate", expr.GE, lo).
+		Cmp("l.returnflag", expr.EQ, 2).
+		Join("c.custkey", "o.custkey").
+		Join("o.orderkey", "l.orderkey").
+		Join("c.nationkey", "n.nationkey").
+		GroupBy("n.name").Sum("l.extendedprice").
+		Query(fmt.Sprintf("Q10%s", suffix(v)))
+}
+
+func suffix(v Variant) string {
+	if v == VariantA {
+		return "a"
+	}
+	return "b"
+}
+
+// minCostInner is the nested block of Q2: the minimum supply cost per part
+// among suppliers of one region — the subexpression whose repeated
+// (correlated) evaluation benefits from reuse.
+func minCostInner() *logical.Block {
+	return logical.NewBlock().
+		Scan("partsupp", "ps").Scan("supplier", "s").Scan("nation", "n").Scan("region", "r").
+		Cmp("r.name", expr.EQ, 2).
+		Join("ps.suppkey", "s.suppkey").
+		Join("s.nationkey", "n.nationkey").
+		Join("n.regionkey", "r.regionkey").
+		GroupBy("ps.partkey").Min("ps.supplycost").
+		Build()
+}
+
+// Q2 is the minimum-cost-supplier query: a large nested query whose inner
+// block (partsupp⋈supplier⋈nation⋈σregion aggregated per part) shares the
+// partsupp⋈supplier⋈nation⋈σregion subexpression with the outer block —
+// the internal common subexpression the paper exploits for a single
+// complex query.
+func Q2() *logical.Query {
+	return logical.NewBlock().
+		Scan("part", "p").Scan("partsupp", "ps").Scan("supplier", "s").
+		Scan("nation", "n").Scan("region", "r").
+		Derived(minCostInner(), "mc").
+		Cmp("p.size", expr.EQ, 15).
+		Cmp("r.name", expr.EQ, 2).
+		Join("p.partkey", "ps.partkey").
+		Join("ps.suppkey", "s.suppkey").
+		Join("s.nationkey", "n.nationkey").
+		Join("n.regionkey", "r.regionkey").
+		Join("ps.partkey", "mc.partkey").
+		Query("Q2")
+}
+
+// Q2D is the (manually) decorrelated version of Q2: per the paper it is a
+// batch of queries — the decorrelated inner aggregate runs as its own
+// query, and the outer query consumes the same inner block, so the whole
+// inner result is shareable across the batch.
+func Q2D() *logical.Batch {
+	inner := &logical.Query{Name: "Q2D-inner", Root: minCostInner()}
+	outer := Q2()
+	outer.Name = "Q2D-outer"
+	b := &logical.Batch{}
+	b.Add(inner)
+	b.Add(outer)
+	return b
+}
+
+// Q11 is the important-stock-identification query: two aggregations over
+// the same partsupp⋈supplier⋈σnation join (per-part value vs. the
+// threshold), i.e. a single query whose two derived blocks share an
+// expensive subexpression.
+func Q11() *logical.Query {
+	base := func() *logical.BlockBuilder {
+		return logical.NewBlock().
+			Scan("partsupp", "ps").Scan("supplier", "s").Scan("nation", "n").
+			Cmp("n.name", expr.EQ, 7).
+			Join("ps.suppkey", "s.suppkey").
+			Join("s.nationkey", "n.nationkey")
+	}
+	value := base().GroupBy("ps.partkey").Sum("ps.supplycost").Build()
+	qty := base().GroupBy("ps.partkey").Sum("ps.availqty").Build()
+	return logical.NewBlock().
+		Derived(value, "v").
+		Derived(qty, "q").
+		Join("v.partkey", "q.partkey").
+		Query("Q11")
+}
+
+// Q15 is the top-supplier query: the revenue view (an aggregation over a
+// shipdate slice of lineitem) is referenced twice, so the σ(lineitem)
+// slice and the view computation are shareable within the single query.
+func Q15() *logical.Query {
+	revenue := func() *logical.BlockBuilder {
+		return logical.NewBlock().
+			Scan("lineitem", "l").
+			Cmp("l.shipdate", expr.GE, 2200).
+			GroupBy("l.suppkey")
+	}
+	rev := revenue().Sum("l.extendedprice").Build()
+	cnt := revenue().Count().Build()
+	return logical.NewBlock().
+		Scan("supplier", "s").
+		Derived(rev, "r").
+		Derived(cnt, "x").
+		Join("s.suppkey", "r.suppkey").
+		Join("r.suppkey", "x.suppkey").
+		Query("Q15")
+}
+
+// BQ returns the i-th batched composite (1 ≤ i ≤ 6): the first i of
+// Q3, Q5, Q7, Q8, Q9, Q10, each repeated with its two variants.
+func BQ(i int) *logical.Batch {
+	if i < 1 {
+		i = 1
+	}
+	if i > 6 {
+		i = 6
+	}
+	makers := []func(Variant) *logical.Query{Q3, Q5, Q7, Q8, Q9, Q10}
+	b := &logical.Batch{}
+	for q := 0; q < i; q++ {
+		b.Add(makers[q](VariantA))
+		b.Add(makers[q](VariantB))
+	}
+	return b
+}
+
+// StandAlone returns the Experiment 2 workloads keyed by name.
+func StandAlone() []struct {
+	Name  string
+	Batch *logical.Batch
+} {
+	single := func(q *logical.Query) *logical.Batch {
+		b := &logical.Batch{}
+		b.Add(q)
+		return b
+	}
+	return []struct {
+		Name  string
+		Batch *logical.Batch
+	}{
+		{"Q2", single(Q2())},
+		{"Q2-D", Q2D()},
+		{"Q11", single(Q11())},
+		{"Q15", single(Q15())},
+	}
+}

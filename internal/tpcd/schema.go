@@ -1,0 +1,156 @@
+// Package tpcd defines the TPCD (TPC-D/TPC-H) workload used in the paper's
+// experimental section: the eight-table schema with standard cardinalities
+// scaled by a scale factor (SF 1 ≈ 1 GB total, SF 100 ≈ 100 GB), clustered
+// primary-key indexes on every base relation, structurally faithful
+// analogues of the queries the paper uses (Q2, Q2-D, Q3, Q5, Q7, Q8, Q9,
+// Q10, Q11, Q15), and the batched composites BQ1–BQ6 (each of
+// Q3/Q5/Q7/Q8/Q9/Q10 repeated twice with a different selection constant).
+package tpcd
+
+import "repro/internal/catalog"
+
+// Date constants: dates are days since 1992-01-01; the TPC-D order/ship
+// date ranges span about 2 406 and 2 526 days respectively.
+const (
+	OrderDateMin = 0
+	OrderDateMax = 2405
+	ShipDateMin  = 0
+	ShipDateMax  = 2525
+)
+
+// Catalog builds the TPCD catalog at the given scale factor with clustered
+// primary-key indexes on all base relations, as in the paper's setup.
+func Catalog(sf float64) *catalog.Catalog {
+	if sf <= 0 {
+		sf = 1
+	}
+	cat := catalog.New()
+	ci := func(col string) []catalog.Index {
+		return []catalog.Index{{Column: col, Clustered: true}}
+	}
+
+	cat.MustAddTable(&catalog.Table{
+		Name: "region", Rows: 5,
+		Columns: []catalog.Column{
+			{Name: "regionkey", Type: catalog.Int, Width: 8, Distinct: 5, Min: 0, Max: 4},
+			{Name: "name", Type: catalog.String, Width: 25, Distinct: 5, Min: 0, Max: 4},
+			{Name: "comment", Type: catalog.String, Width: 152, Distinct: 5, Min: 0, Max: 4},
+		},
+		Indexes: ci("regionkey"),
+	})
+
+	cat.MustAddTable(&catalog.Table{
+		Name: "nation", Rows: 25,
+		Columns: []catalog.Column{
+			{Name: "nationkey", Type: catalog.Int, Width: 8, Distinct: 25, Min: 0, Max: 24},
+			{Name: "regionkey", Type: catalog.Int, Width: 8, Distinct: 5, Min: 0, Max: 4},
+			{Name: "name", Type: catalog.String, Width: 25, Distinct: 25, Min: 0, Max: 24},
+			{Name: "comment", Type: catalog.String, Width: 152, Distinct: 25, Min: 0, Max: 24},
+		},
+		Indexes: ci("nationkey"),
+	})
+
+	supRows := 10000 * sf
+	cat.MustAddTable(&catalog.Table{
+		Name: "supplier", Rows: supRows,
+		Columns: []catalog.Column{
+			{Name: "suppkey", Type: catalog.Int, Width: 8, Distinct: supRows, Min: 0, Max: supRows},
+			{Name: "name", Type: catalog.String, Width: 25, Distinct: supRows, Min: 0, Max: supRows},
+			{Name: "address", Type: catalog.String, Width: 40, Distinct: supRows, Min: 0, Max: supRows},
+			{Name: "nationkey", Type: catalog.Int, Width: 8, Distinct: 25, Min: 0, Max: 24},
+			{Name: "phone", Type: catalog.String, Width: 15, Distinct: supRows, Min: 0, Max: supRows},
+			{Name: "acctbal", Type: catalog.Float, Width: 8, Distinct: supRows, Min: -1000, Max: 10000},
+			{Name: "comment", Type: catalog.String, Width: 101, Distinct: supRows, Min: 0, Max: supRows},
+		},
+		Indexes: ci("suppkey"),
+	})
+
+	custRows := 150000 * sf
+	cat.MustAddTable(&catalog.Table{
+		Name: "customer", Rows: custRows,
+		Columns: []catalog.Column{
+			{Name: "custkey", Type: catalog.Int, Width: 8, Distinct: custRows, Min: 0, Max: custRows},
+			{Name: "name", Type: catalog.String, Width: 25, Distinct: custRows, Min: 0, Max: custRows},
+			{Name: "address", Type: catalog.String, Width: 40, Distinct: custRows, Min: 0, Max: custRows},
+			{Name: "nationkey", Type: catalog.Int, Width: 8, Distinct: 25, Min: 0, Max: 24},
+			{Name: "phone", Type: catalog.String, Width: 15, Distinct: custRows, Min: 0, Max: custRows},
+			{Name: "acctbal", Type: catalog.Float, Width: 8, Distinct: custRows, Min: -1000, Max: 10000},
+			{Name: "mktsegment", Type: catalog.Int, Width: 10, Distinct: 5, Min: 0, Max: 4},
+			{Name: "comment", Type: catalog.String, Width: 117, Distinct: custRows, Min: 0, Max: custRows},
+		},
+		Indexes: ci("custkey"),
+	})
+
+	partRows := 200000 * sf
+	cat.MustAddTable(&catalog.Table{
+		Name: "part", Rows: partRows,
+		Columns: []catalog.Column{
+			{Name: "partkey", Type: catalog.Int, Width: 8, Distinct: partRows, Min: 0, Max: partRows},
+			{Name: "name", Type: catalog.String, Width: 55, Distinct: partRows, Min: 0, Max: partRows},
+			{Name: "mfgr", Type: catalog.Int, Width: 25, Distinct: 5, Min: 0, Max: 4},
+			{Name: "brand", Type: catalog.Int, Width: 10, Distinct: 25, Min: 0, Max: 24},
+			{Name: "type", Type: catalog.Int, Width: 25, Distinct: 150, Min: 0, Max: 149},
+			{Name: "size", Type: catalog.Int, Width: 8, Distinct: 50, Min: 1, Max: 50},
+			{Name: "container", Type: catalog.Int, Width: 10, Distinct: 40, Min: 0, Max: 39},
+			{Name: "retailprice", Type: catalog.Float, Width: 8, Distinct: partRows, Min: 900, Max: 2100},
+			{Name: "comment", Type: catalog.String, Width: 23, Distinct: partRows, Min: 0, Max: partRows},
+		},
+		Indexes: ci("partkey"),
+	})
+
+	psRows := 800000 * sf
+	cat.MustAddTable(&catalog.Table{
+		Name: "partsupp", Rows: psRows,
+		Columns: []catalog.Column{
+			{Name: "partkey", Type: catalog.Int, Width: 8, Distinct: partRows, Min: 0, Max: partRows},
+			{Name: "suppkey", Type: catalog.Int, Width: 8, Distinct: supRows, Min: 0, Max: supRows},
+			{Name: "availqty", Type: catalog.Int, Width: 8, Distinct: 9999, Min: 1, Max: 9999},
+			{Name: "supplycost", Type: catalog.Float, Width: 8, Distinct: 100000, Min: 1, Max: 1000},
+			{Name: "comment", Type: catalog.String, Width: 124, Distinct: psRows, Min: 0, Max: psRows},
+		},
+		Indexes: ci("partkey"),
+	})
+
+	ordRows := 1500000 * sf
+	cat.MustAddTable(&catalog.Table{
+		Name: "orders", Rows: ordRows,
+		Columns: []catalog.Column{
+			{Name: "orderkey", Type: catalog.Int, Width: 8, Distinct: ordRows, Min: 0, Max: ordRows * 4},
+			{Name: "custkey", Type: catalog.Int, Width: 8, Distinct: custRows, Min: 0, Max: custRows},
+			{Name: "orderstatus", Type: catalog.Int, Width: 1, Distinct: 3, Min: 0, Max: 2},
+			{Name: "totalprice", Type: catalog.Float, Width: 8, Distinct: ordRows, Min: 800, Max: 560000},
+			{Name: "orderdate", Type: catalog.Date, Width: 8, Distinct: OrderDateMax + 1, Min: OrderDateMin, Max: OrderDateMax},
+			{Name: "orderpriority", Type: catalog.Int, Width: 15, Distinct: 5, Min: 0, Max: 4},
+			{Name: "clerk", Type: catalog.Int, Width: 15, Distinct: 1000 * sf, Min: 0, Max: 1000 * sf},
+			{Name: "shippriority", Type: catalog.Int, Width: 8, Distinct: 1, Min: 0, Max: 0},
+			{Name: "comment", Type: catalog.String, Width: 49, Distinct: ordRows, Min: 0, Max: ordRows},
+		},
+		Indexes: ci("orderkey"),
+	})
+
+	liRows := 6000000 * sf
+	cat.MustAddTable(&catalog.Table{
+		Name: "lineitem", Rows: liRows,
+		Columns: []catalog.Column{
+			{Name: "orderkey", Type: catalog.Int, Width: 8, Distinct: ordRows, Min: 0, Max: ordRows * 4},
+			{Name: "partkey", Type: catalog.Int, Width: 8, Distinct: partRows, Min: 0, Max: partRows},
+			{Name: "suppkey", Type: catalog.Int, Width: 8, Distinct: supRows, Min: 0, Max: supRows},
+			{Name: "linenumber", Type: catalog.Int, Width: 8, Distinct: 7, Min: 1, Max: 7},
+			{Name: "quantity", Type: catalog.Int, Width: 8, Distinct: 50, Min: 1, Max: 50},
+			{Name: "extendedprice", Type: catalog.Float, Width: 8, Distinct: liRows, Min: 900, Max: 105000},
+			{Name: "discount", Type: catalog.Float, Width: 8, Distinct: 11, Min: 0, Max: 0.1},
+			{Name: "tax", Type: catalog.Float, Width: 8, Distinct: 9, Min: 0, Max: 0.08},
+			{Name: "returnflag", Type: catalog.Int, Width: 1, Distinct: 3, Min: 0, Max: 2},
+			{Name: "linestatus", Type: catalog.Int, Width: 1, Distinct: 2, Min: 0, Max: 1},
+			{Name: "shipdate", Type: catalog.Date, Width: 8, Distinct: ShipDateMax + 1, Min: ShipDateMin, Max: ShipDateMax},
+			{Name: "commitdate", Type: catalog.Date, Width: 8, Distinct: ShipDateMax + 1, Min: ShipDateMin, Max: ShipDateMax},
+			{Name: "receiptdate", Type: catalog.Date, Width: 8, Distinct: ShipDateMax + 1, Min: ShipDateMin, Max: ShipDateMax},
+			{Name: "shipinstruct", Type: catalog.Int, Width: 25, Distinct: 4, Min: 0, Max: 3},
+			{Name: "shipmode", Type: catalog.Int, Width: 10, Distinct: 7, Min: 0, Max: 6},
+			{Name: "comment", Type: catalog.String, Width: 27, Distinct: liRows, Min: 0, Max: liRows},
+		},
+		Indexes: ci("orderkey"),
+	})
+
+	return cat
+}

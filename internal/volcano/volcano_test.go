@@ -1,0 +1,81 @@
+package volcano
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/physical"
+	"repro/internal/tpcd"
+)
+
+func TestNewOptimizerRejectsBadBatch(t *testing.T) {
+	cat := tpcd.Catalog(1)
+	if _, err := NewOptimizer(cat, cost.Default(), nil); err == nil {
+		t.Error("nil batch accepted")
+	}
+}
+
+func TestVolcanoCostIsEmptySetCost(t *testing.T) {
+	opt, err := NewOptimizer(tpcd.Catalog(1), cost.Default(), tpcd.BQ(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.VolcanoCost() != opt.BestCost(physical.NodeSet{}) {
+		t.Error("VolcanoCost != bc(∅)")
+	}
+}
+
+func TestBCCallsCount(t *testing.T) {
+	opt, err := NewOptimizer(tpcd.Catalog(1), cost.Default(), tpcd.BQ(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := opt.BCCalls()
+	opt.BestCost(physical.NodeSet{})
+	opt.BestCost(physical.NodeSet{})
+	if got := opt.BCCalls() - before; got != 2 {
+		t.Errorf("BCCalls delta = %d, want 2", got)
+	}
+}
+
+func TestSetIncrementalToggle(t *testing.T) {
+	opt, err := NewOptimizer(tpcd.Catalog(1), cost.Default(), tpcd.BQ(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := opt.Shareable()
+	if len(sh) == 0 {
+		t.Fatal("no shareable nodes")
+	}
+	warm := opt.BestCost(physical.NodeSet{sh[0]: true})
+	opt.SetIncremental(false)
+	cold := opt.BestCost(physical.NodeSet{sh[0]: true})
+	if warm != cold {
+		t.Errorf("incremental %v != cold %v", warm, cold)
+	}
+	opt.SetIncremental(true)
+	again := opt.BestCost(physical.NodeSet{sh[0]: true})
+	if again != warm {
+		t.Errorf("re-enabled %v != warm %v", again, warm)
+	}
+}
+
+func TestPlanForEveryWorkload(t *testing.T) {
+	cat := tpcd.Catalog(1)
+	for _, w := range tpcd.StandAlone() {
+		opt, err := NewOptimizer(cat, cost.Default(), w.Batch)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		plan := opt.Plan(physical.NodeSet{})
+		if len(plan.Queries) != len(w.Batch.Queries) {
+			t.Errorf("%s: %d query plans for %d queries", w.Name, len(plan.Queries), len(w.Batch.Queries))
+		}
+		if plan.Total != opt.VolcanoCost() {
+			t.Errorf("%s: plan total %v != volcano cost %v", w.Name, plan.Total, opt.VolcanoCost())
+		}
+		if plan.String() == "" {
+			t.Errorf("%s: empty plan rendering", w.Name)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package repro is a Go reproduction of "Efficient and Provable
+// Multi-Query Optimization" (Kathuria & Sudarshan, PODS 2017): a
+// Volcano-style multi-query optimizer whose materialization choices are
+// made by the paper's MarginalGreedy algorithm for unconstrained,
+// normalized submodular maximization, alongside the Greedy baseline of Roy
+// et al. [SIGMOD 2000] and a stand-alone (no-MQO) Volcano mode.
+//
+// This root package is a thin facade over the implementation packages:
+//
+//	internal/catalog     schemas and statistics
+//	internal/logical     query representation and builders
+//	internal/memo        the combined AND-OR DAG (LQDAG) with unification
+//	internal/physical    plan search, physical properties, bestCost(Q,S)
+//	internal/volcano     the optimizer facade
+//	internal/submod      generic UNSM: decomposition, MarginalGreedy, bounds
+//	internal/core        the MQO strategies of the paper's experiments
+//	internal/tpcd        the TPCD workload (schema, queries, batches)
+//	internal/exec        iterator-model executor over synthetic data
+//	internal/parser      a small SQL-like language for the CLI
+//	internal/experiments the paper's tables and figures
+//
+// Quick start:
+//
+//	cat := tpcd.Catalog(1)
+//	opt, err := volcano.NewOptimizer(cat, cost.Default(), tpcd.BQ(3))
+//	res := core.Run(opt, core.MarginalGreedy)
+//	plan := opt.Plan(res.MatSet())
+package repro
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/logical"
+	"repro/internal/physical"
+	"repro/internal/volcano"
+)
+
+// Strategy selects the MQO algorithm; see internal/core for the full list.
+type Strategy = core.Strategy
+
+// Re-exported strategies.
+const (
+	Volcano        = core.Volcano
+	Greedy         = core.Greedy
+	MarginalGreedy = core.MarginalGreedy
+)
+
+// Result is an MQO outcome: the chosen materializations, the consolidated
+// cost and the optimization time.
+type Result = core.Result
+
+// Plan is an extracted consolidated physical plan.
+type Plan = physical.ConsolidatedPlan
+
+// Optimize runs multi-query optimization over a batch with the paper's
+// cost-model constants and returns the result together with the
+// consolidated plan.
+func Optimize(cat *catalog.Catalog, batch *logical.Batch, strategy Strategy) (Result, *Plan, error) {
+	opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res := core.Run(opt, strategy)
+	return res, opt.Plan(res.MatSet()), nil
+}

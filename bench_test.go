@@ -157,10 +157,56 @@ func BenchmarkBestCostOracle(b *testing.B) {
 		b.Fatal(err)
 	}
 	sh := opt.Shareable()
+	sets := make([]physical.NodeSet, len(sh))
+	for i, id := range sh {
+		sets[i] = opt.NewNodeSet(id)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := physical.NodeSet{}
-		s[sh[i%len(sh)]] = true
-		opt.BestCost(s)
+		opt.BestCost(sets[i%len(sets)])
+	}
+}
+
+// BenchmarkBestCost measures single bc(S) evaluations with allocation
+// reporting: on a warm searcher the interned-order/bitset hot path must do
+// near-zero allocation per call.
+func BenchmarkBestCost(b *testing.B) {
+	cat := tpcd.Catalog(1)
+	opt, err := volcano.NewOptimizer(cat, cost.Default(), tpcd.BQ(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh := opt.Shareable()
+	sets := make([]physical.NodeSet, len(sh))
+	for i, id := range sh {
+		sets[i] = opt.NewNodeSet(id)
+	}
+	opt.BestCost(sets[0]) // warm the cross-call cache and scratch tables
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.BestCost(sets[i%len(sets)])
+	}
+}
+
+// BenchmarkOracleParallel measures one batched oracle round — bc(S) for
+// every single-node candidate set, evaluated concurrently on the worker
+// pool — the unit of work of one parallel greedy ratio scan.
+func BenchmarkOracleParallel(b *testing.B) {
+	cat := tpcd.Catalog(1)
+	opt, err := volcano.NewOptimizer(cat, cost.Default(), tpcd.BQ(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh := opt.Shareable()
+	sets := make([]physical.NodeSet, len(sh))
+	for i, id := range sh {
+		sets[i] = opt.NewNodeSet(id)
+	}
+	opt.BestCostBatch(sets) // warm every worker's cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.BestCostBatch(sets)
 	}
 }

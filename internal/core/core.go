@@ -81,24 +81,22 @@ func (s Strategy) String() string {
 type Result struct {
 	Strategy     Strategy
 	Materialized []memo.GroupID
-	Cost         float64 // bc(S), milliseconds
-	VolcanoCost  float64 // bc(∅), milliseconds
-	Benefit      float64 // mb(S)
+	Set          physical.NodeSet // the chosen materialization set
+	Cost         float64          // bc(S), milliseconds
+	VolcanoCost  float64          // bc(∅), milliseconds
+	Benefit      float64          // mb(S)
 	OptTime      time.Duration
 	OracleCalls  int // memoized-distinct bestCost evaluations
 }
 
-// MatSet returns the materialization set as a physical.NodeSet.
-func (r Result) MatSet() physical.NodeSet {
-	out := physical.NodeSet{}
-	for _, id := range r.Materialized {
-		out[id] = true
-	}
-	return out
-}
+// MatSet returns the chosen materialization set.
+func (r Result) MatSet() physical.NodeSet { return r.Set }
 
 // BenefitFunc adapts mb(S) over the optimizer's shareable nodes to the
-// submod.Function interface; element i corresponds to Nodes[i].
+// submod.Function interface; element i corresponds to Nodes[i]. It also
+// implements submod.BatchFunction: a batch of candidate sets is evaluated
+// concurrently on the searcher's worker pool, with results bit-identical
+// to sequential evaluation.
 type BenefitFunc struct {
 	Opt   *volcano.Optimizer
 	Nodes []memo.GroupID
@@ -120,13 +118,33 @@ func (f *BenefitFunc) N() int { return len(f.Nodes) }
 // Base returns bc(∅).
 func (f *BenefitFunc) Base() float64 { return f.base }
 
+// toNodeSet converts an element set to a materialization bitset.
+func (f *BenefitFunc) toNodeSet(s submod.Set) physical.NodeSet {
+	ns := f.Opt.NewNodeSet()
+	for e := range s {
+		ns.Add(f.Nodes[e])
+	}
+	return ns
+}
+
 // Eval returns mb(S) = bc(∅) − bc(S).
 func (f *BenefitFunc) Eval(s submod.Set) float64 {
-	ns := physical.NodeSet{}
-	for e := range s {
-		ns[f.Nodes[e]] = true
+	return f.base - f.Opt.BestCost(f.toNodeSet(s))
+}
+
+// EvalBatch returns mb(S) for every set, evaluating the underlying
+// bestCost oracle calls concurrently (one per worker context).
+func (f *BenefitFunc) EvalBatch(sets []submod.Set) []float64 {
+	mats := make([]physical.NodeSet, len(sets))
+	for i, s := range sets {
+		mats[i] = f.toNodeSet(s)
 	}
-	return f.base - f.Opt.BestCost(ns)
+	costs := f.Opt.Searcher.BestCostBatch(mats)
+	out := make([]float64, len(sets))
+	for i, c := range costs {
+		out[i] = f.base - c
+	}
+	return out
 }
 
 // ToNodes converts an element set to group ids (sorted by element index).
@@ -172,11 +190,12 @@ func Run(opt *volcano.Optimizer, strat Strategy) Result {
 	res := Result{
 		Strategy:     strat,
 		Materialized: nodes,
+		Set:          opt.NewNodeSet(nodes...),
 		VolcanoCost:  f.Base(),
 		OptTime:      time.Since(start),
 		OracleCalls:  oracle.Calls,
 	}
-	res.Cost = opt.BestCost(res.MatSet())
+	res.Cost = opt.BestCost(res.Set)
 	res.Benefit = res.VolcanoCost - res.Cost
 	return res
 }
@@ -204,7 +223,8 @@ func RunK(opt *volcano.Optimizer, k int, reduce bool) Result {
 		OptTime:      time.Since(start),
 		OracleCalls:  oracle.Calls,
 	}
-	res.Cost = opt.BestCost(res.MatSet())
+	res.Set = opt.NewNodeSet(res.Materialized...)
+	res.Cost = opt.BestCost(res.Set)
 	res.Benefit = res.VolcanoCost - res.Cost
 	return res
 }

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/memo"
-	"repro/internal/physical"
 	"repro/internal/submod"
 	"repro/internal/tpcd"
 	"repro/internal/volcano"
@@ -132,11 +131,7 @@ func TestBenefitEqualsCostDrop(t *testing.T) {
 	f := NewBenefitFunc(opt)
 	for e := 0; e < f.N(); e++ {
 		mb := f.Eval(submod.NewSet(e))
-		ns := physical.NodeSet{}
-		for _, id := range f.ToNodes(submod.NewSet(e)) {
-			ns[id] = true
-		}
-		bc := opt.BestCost(ns)
+		bc := opt.BestCost(opt.NewNodeSet(f.ToNodes(submod.NewSet(e))...))
 		if diff := mb - (f.Base() - bc); diff > 1e-6 || diff < -1e-6 {
 			t.Fatalf("element %d: mb=%v but bc drop=%v", e, mb, f.Base()-bc)
 		}

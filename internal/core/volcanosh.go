@@ -43,19 +43,15 @@ func RunVolcanoSH(opt *volcano.Optimizer) Result {
 			}
 		}
 		sortByUsesDesc(cands, uses)
-		chosen := physical.NodeSet{}
+		chosen := opt.NewNodeSet()
 		cur := base
 		for _, id := range cands {
 			if c := opt.BestCost(chosen.With(id)); c < cur {
-				chosen[id] = true
+				chosen.Add(id)
 				cur = c
 			}
 		}
-		out := make([]memo.GroupID, 0, len(chosen))
-		for id := range chosen {
-			out = append(out, id)
-		}
-		return out, base
+		return chosen.Groups(), base
 	}, opt)
 	return res
 }
@@ -67,10 +63,11 @@ func runTimed(f func() ([]memo.GroupID, float64), opt *volcano.Optimizer) Result
 	res := Result{
 		Strategy:     VolcanoSH,
 		Materialized: nodes,
+		Set:          opt.NewNodeSet(nodes...),
 		VolcanoCost:  base,
 		OptTime:      nowFunc().Sub(start),
 	}
-	res.Cost = opt.BestCost(res.MatSet())
+	res.Cost = opt.BestCost(res.Set)
 	res.Benefit = res.VolcanoCost - res.Cost
 	return res
 }

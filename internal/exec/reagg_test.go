@@ -62,7 +62,7 @@ func TestReAggPlanAndExecution(t *testing.T) {
 	if fineAgg < 0 {
 		t.Fatal("aggregate subsumption did not fire")
 	}
-	mat := physical.NodeSet{fineAgg: true}
+	mat := opt.NewNodeSet(fineAgg)
 	plan := opt.Plan(mat)
 	hasReAgg := false
 	var walk func(n *physical.PlanNode)

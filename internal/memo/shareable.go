@@ -1,6 +1,9 @@
 package memo
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // Shareable returns the equivalence nodes worth considering for
 // materialization: groups consumable from at least two distinct contexts
@@ -24,6 +27,45 @@ func (m *Memo) Shareable() []GroupID {
 	return out
 }
 
+// Bitset is a fixed-width bitset over the dense slots of a ShareIndex: bit
+// i corresponds to the i-th shareable group in GroupID order. It is the
+// uniform materialization-set representation of the oracle hot path — a
+// short/nil Bitset is valid and reads as all-zero, so the zero value is
+// the empty set.
+type Bitset []uint64
+
+// HasSlot reports whether slot i is set.
+func (b Bitset) HasSlot(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<uint(i%64)) != 0
+}
+
+// SetSlot sets slot i; the bitset must be wide enough.
+func (b Bitset) SetSlot(i int) { b[i/64] |= 1 << uint(i%64) }
+
+// ClearSlot clears slot i if in range.
+func (b Bitset) ClearSlot(i int) {
+	if w := i / 64; w < len(b) {
+		b[w] &^= 1 << uint(i%64)
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns a copy of the bitset.
+func (b Bitset) Clone() Bitset {
+	out := make(Bitset, len(b))
+	copy(out, b)
+	return out
+}
+
 // bitset helpers for the incremental bestCost cache: every group knows
 // which shareable nodes are reachable below it (including itself), so a
 // cost computed for (group, order) can be reused across bestCost calls
@@ -32,8 +74,9 @@ func (m *Memo) Shareable() []GroupID {
 // ShareIndex maps shareable group ids to dense bit positions.
 type ShareIndex struct {
 	pos   map[GroupID]int
+	ids   []GroupID // slot -> group id
 	words int
-	desc  map[GroupID][]uint64
+	desc  map[GroupID]Bitset
 	memo  *Memo
 }
 
@@ -42,8 +85,9 @@ func (m *Memo) NewShareIndex() *ShareIndex {
 	sh := m.Shareable()
 	si := &ShareIndex{
 		pos:   make(map[GroupID]int, len(sh)),
+		ids:   sh,
 		words: (len(sh) + 63) / 64,
-		desc:  map[GroupID][]uint64{},
+		desc:  map[GroupID]Bitset{},
 		memo:  m,
 	}
 	if si.words == 0 {
@@ -64,16 +108,32 @@ func (si *ShareIndex) Pos(id GroupID) int {
 	return p
 }
 
+// GroupAt returns the group id occupying a slot.
+func (si *ShareIndex) GroupAt(slot int) GroupID { return si.ids[slot] }
+
 // Len returns the number of shareable nodes.
 func (si *ShareIndex) Len() int { return len(si.pos) }
 
+// Groups returns the group ids of the set slots, in ascending id order.
+func (si *ShareIndex) Groups(mat Bitset) []GroupID {
+	var out []GroupID
+	for w, v := range mat {
+		for v != 0 {
+			b := bits.TrailingZeros64(v)
+			out = append(out, si.ids[w*64+b])
+			v &= v - 1
+		}
+	}
+	return out
+}
+
 // Descendants returns the bitset of shareable nodes reachable at or below
 // the group (memoized; the DAG is acyclic).
-func (si *ShareIndex) Descendants(id GroupID) []uint64 {
+func (si *ShareIndex) Descendants(id GroupID) Bitset {
 	if bs, ok := si.desc[id]; ok {
 		return bs
 	}
-	bs := make([]uint64, si.words)
+	bs := make(Bitset, si.words)
 	si.desc[id] = bs // pre-insert: DAG is acyclic so no true cycles, but be safe
 	if p, ok := si.pos[id]; ok {
 		bs[p/64] |= 1 << uint(p%64)
@@ -91,11 +151,20 @@ func (si *ShareIndex) Descendants(id GroupID) []uint64 {
 
 // MaskHash hashes the intersection of a materialization bitset with the
 // group's shareable descendants (FNV-1a over the masked words).
-func (si *ShareIndex) MaskHash(id GroupID, mat []uint64) uint64 {
-	desc := si.Descendants(id)
+func (si *ShareIndex) MaskHash(id GroupID, mat Bitset) uint64 {
+	return HashMasked(si.Descendants(id), mat)
+}
+
+// HashMasked is MaskHash over an explicit descendants bitset; the oracle
+// hot path precomputes descendants per group and calls this directly.
+func HashMasked(desc, mat Bitset) uint64 {
 	var h uint64 = 1469598103934665603
 	for w := range desc {
-		v := desc[w] & mat[w]
+		var mw uint64
+		if w < len(mat) {
+			mw = mat[w]
+		}
+		v := desc[w] & mw
 		for i := 0; i < 8; i++ {
 			h ^= (v >> uint(8*i)) & 0xff
 			h *= 1099511628211
@@ -105,31 +174,31 @@ func (si *ShareIndex) MaskHash(id GroupID, mat []uint64) uint64 {
 }
 
 // NewMatSet returns an empty materialization bitset sized for this index.
-func (si *ShareIndex) NewMatSet() []uint64 { return make([]uint64, si.words) }
+func (si *ShareIndex) NewMatSet() Bitset { return make(Bitset, si.words) }
 
 // Set marks a shareable group in the bitset; it reports whether the group
 // was shareable.
-func (si *ShareIndex) Set(mat []uint64, id GroupID) bool {
+func (si *ShareIndex) Set(mat Bitset, id GroupID) bool {
 	p, ok := si.pos[id]
 	if !ok {
 		return false
 	}
-	mat[p/64] |= 1 << uint(p%64)
+	mat.SetSlot(p)
 	return true
 }
 
 // Unset clears a shareable group's bit.
-func (si *ShareIndex) Unset(mat []uint64, id GroupID) {
+func (si *ShareIndex) Unset(mat Bitset, id GroupID) {
 	if p, ok := si.pos[id]; ok {
-		mat[p/64] &^= 1 << uint(p%64)
+		mat.ClearSlot(p)
 	}
 }
 
 // Has reports whether the group's bit is set.
-func (si *ShareIndex) Has(mat []uint64, id GroupID) bool {
+func (si *ShareIndex) Has(mat Bitset, id GroupID) bool {
 	p, ok := si.pos[id]
 	if !ok {
 		return false
 	}
-	return mat[p/64]&(1<<uint(p%64)) != 0
+	return mat.HasSlot(p)
 }

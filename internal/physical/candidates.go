@@ -8,21 +8,6 @@ import (
 	"repro/internal/memo"
 )
 
-// candidate is one physical implementation choice for a group: its total
-// use-cost (children included) and the order it delivers.
-type candidate struct {
-	cost float64
-	out  Order
-	e    *memo.MExpr
-	op   string
-	// children requirements, used by plan extraction; for joins the
-	// sequence is (outer, inner) and swap records whether that sequence is
-	// the reverse of the mexpr's child order.
-	childOrds []Order
-	swap      bool
-	indexCol  string
-}
-
 // Physical operator names.
 const (
 	OpNameScan      = "tablescan"
@@ -38,59 +23,94 @@ const (
 	OpNameMatScan   = "matscan"
 )
 
-// candidates enumerates the implementations of a group that deliver the
-// required order natively (the sort enforcer is handled by the caller).
-// The required order also prunes: implementations whose delivered order
-// cannot satisfy it are skipped, except order-preserving filters which
-// forward the requirement to their input.
-func (c *sctx) candidates(g memo.GroupID, ord Order) []candidate {
-	grp := c.s.M.Group(g)
-	var out []candidate
-	for _, e := range grp.Exprs {
+// tmpl is one compiled physical implementation choice for a group: its
+// precomputed local cost, child requirements as interned order ids and the
+// order it delivers. Templates are enumerated in exactly the order the
+// candidate rules define, so strict-< minima (and the first-within-epsilon
+// pick of plan extraction) resolve identically to direct enumeration.
+type tmpl struct {
+	op    string
+	e     *memo.MExpr
+	local float64 // local cost when matGate is satisfied (or always)
+	// localSpill is the BNLJ local cost when the inner input must be
+	// spilled to a temporary file first; equal to local for other ops.
+	localSpill float64
+	// matGate selects between local (group materialized under the current
+	// set, inner re-readable) and localSpill; -1 when the choice is static.
+	matGate memo.GroupID
+	out     ordID
+	child   [2]childReq
+	nchild  uint8
+	// passthrough marks the order-preserving filter: it delivers whatever
+	// order is required and forwards the requirement to its only child.
+	passthrough bool
+	// extended marks hash join / hash aggregation, enumerated only when
+	// the searcher's ExtendedOps is on.
+	extended bool
+	swap     bool
+	indexCol string
+}
+
+type childReq struct {
+	g   memo.GroupID
+	ord ordID
+}
+
+// buildTemplates compiles the candidate templates of one group, in the
+// exact order candidate generation enumerates implementations: per
+// operator node — scans (full scan, then one indexed selection per indexed
+// conjunct), order-preserving filters, joins (BNLJ both operand orders,
+// hash join both orders, merge join both column orders), aggregations
+// (sort-based, then hash).
+func (s *Searcher) buildTemplates(g memo.GroupID) []tmpl {
+	var out []tmpl
+	for _, e := range s.M.Group(g).Exprs {
 		switch e.Kind {
 		case memo.OpScan:
-			out = append(out, c.scanCandidates(g, e, ord)...)
+			out = append(out, s.scanTemplates(g, e)...)
 		case memo.OpFilter:
-			// Order-preserving: request ord from the input directly.
 			child := e.Children[0]
-			cost := c.useCost(child, ord) + c.s.M.Model.FilterCost(c.s.blocks(child))
-			out = append(out, candidate{cost: cost, out: ord, e: e, op: OpNameFilter, childOrds: []Order{ord}})
+			out = append(out, tmpl{
+				op:          OpNameFilter,
+				e:           e,
+				local:       s.M.Model.FilterCost(s.blocksArr[child]),
+				localSpill:  s.M.Model.FilterCost(s.blocksArr[child]),
+				matGate:     -1,
+				child:       [2]childReq{{g: child}},
+				nchild:      1,
+				passthrough: true,
+			})
 		case memo.OpJoin:
-			out = append(out, c.joinCandidates(g, e, ord)...)
+			out = append(out, s.joinTemplates(g, e)...)
 		case memo.OpAgg, memo.OpReAgg:
-			out = append(out, c.aggCandidates(g, e, ord)...)
+			out = append(out, s.aggTemplates(g, e)...)
 		}
 	}
 	return out
 }
 
-// scanInfo caches per-scan-mexpr constants.
-type scanInfo struct {
-	tableBlocks  float64
-	clusteredCol string // "" if none
-	indexes      []idxCand
-}
-
-type idxCand struct {
-	col        expr.Col
-	clustered  bool
-	matchRows  float64
-	matchBlk   float64
-	totalBlock float64
-}
-
-func (s *Searcher) scanInfoFor(e *memo.MExpr) *scanInfo {
-	if s.scanCache == nil {
-		s.scanCache = map[*memo.MExpr]*scanInfo{}
-	}
-	if si, ok := s.scanCache[e]; ok {
-		return si
-	}
+func (s *Searcher) scanTemplates(g memo.GroupID, e *memo.MExpr) []tmpl {
+	m := s.M.Model
 	t, _ := s.M.Cat.Table(e.Table)
-	si := &scanInfo{tableBlocks: s.M.Model.Blocks(t.Rows, t.RowWidth())}
+	tableBlocks := m.Blocks(t.Rows, t.RowWidth())
+	var out []tmpl
+
+	// Full sequential scan (+ filter). A clustered table is stored in
+	// clustered-key order, so the scan delivers that order.
+	var scanOrd Order
 	if cix, ok := t.ClusteredIndex(); ok {
-		si.clusteredCol = cix.Column
+		scanOrd = Order{{Alias: memo.CanonAlias(g), Column: cix.Column}}
 	}
+	cost := m.ScanCost(tableBlocks)
+	if !e.Pred.True() {
+		cost += m.FilterCost(tableBlocks)
+	}
+	out = append(out, tmpl{
+		op: OpNameScan, e: e, local: cost, localSpill: cost, matGate: -1,
+		out: s.intern(scanOrd),
+	})
+
+	// Indexed selection per indexed conjunct; delivers index-column order.
 	alias := memo.CanonAlias(e.Group)
 	base := cardinality.BaseProps(t, alias)
 	for _, cmp := range e.Pred.Conj {
@@ -100,114 +120,100 @@ func (s *Searcher) scanInfoFor(e *memo.MExpr) *scanInfo {
 		}
 		sel := cardinality.Selectivity(base, expr.Pred{Conj: []expr.Cmp{cmp}})
 		rows := t.Rows * sel
-		si.indexes = append(si.indexes, idxCand{
-			col:        cmp.Col,
-			clustered:  ix.Clustered,
-			matchRows:  rows,
-			matchBlk:   s.M.Model.Blocks(rows, t.RowWidth()),
-			totalBlock: si.tableBlocks,
-		})
-	}
-	s.scanCache[e] = si
-	return si
-}
-
-func (c *sctx) scanCandidates(g memo.GroupID, e *memo.MExpr, ord Order) []candidate {
-	m := c.s.M.Model
-	si := c.s.scanInfoFor(e)
-	var out []candidate
-
-	// Full sequential scan (+ filter). A clustered table is stored in
-	// clustered-key order, so the scan delivers that order.
-	var scanOrd Order
-	if si.clusteredCol != "" {
-		scanOrd = Order{{Alias: memo.CanonAlias(g), Column: si.clusteredCol}}
-	}
-	cost := m.ScanCost(si.tableBlocks)
-	if !e.Pred.True() {
-		cost += m.FilterCost(si.tableBlocks)
-	}
-	if scanOrd.Satisfies(ord) {
-		out = append(out, candidate{cost: cost, out: scanOrd, e: e, op: OpNameScan})
-	}
-
-	// Indexed selection per indexed conjunct; delivers index-column order.
-	for _, ix := range si.indexes {
-		ixOrd := Order{ix.col}
-		if !ixOrd.Satisfies(ord) {
-			continue
-		}
-		cost := m.IndexScanCost(ix.totalBlock, ix.matchBlk, ix.matchRows, ix.clustered)
+		matchBlk := m.Blocks(rows, t.RowWidth())
+		cost := m.IndexScanCost(tableBlocks, matchBlk, rows, ix.Clustered)
 		if len(e.Pred.Conj) > 1 {
-			cost += m.FilterCost(ix.matchBlk) // residual predicate
+			cost += m.FilterCost(matchBlk) // residual predicate
 		}
-		out = append(out, candidate{cost: cost, out: ixOrd, e: e, op: OpNameIndexScan, indexCol: ix.col.Column})
+		out = append(out, tmpl{
+			op: OpNameIndexScan, e: e, local: cost, localSpill: cost, matGate: -1,
+			out: s.intern(Order{cmp.Col}), indexCol: cmp.Col.Column,
+		})
 	}
 	return out
 }
 
-func (c *sctx) joinCandidates(g memo.GroupID, e *memo.MExpr, ord Order) []candidate {
-	m := c.s.M.Model
-	outBlocks := c.s.blocks(g)
-	var out []candidate
+func (s *Searcher) joinTemplates(g memo.GroupID, e *memo.MExpr) []tmpl {
+	m := s.M.Model
+	outBlocks := s.blocksArr[g]
+	var out []tmpl
 	a, b := e.Children[0], e.Children[1]
-	aBlocks, bBlocks := c.s.blocks(a), c.s.blocks(b)
+	aBlocks, bBlocks := s.blocksArr[a], s.blocksArr[b]
 
 	// Block nested-loops join, both operand orders. Delivers no order;
 	// when an order is required the enforcer path in compute() covers it.
-	if ord.Empty() {
-		for swap := 0; swap < 2; swap++ {
-			outer, inner := a, b
-			if swap == 1 {
-				outer, inner = b, a
-			}
-			oB, iB := c.s.blocks(outer), c.s.blocks(inner)
-			local := m.BNLJCost(oB, iB, outBlocks, c.rescannable(inner))
-			cost := c.useCost(outer, nil) + c.useCost(inner, nil) + local
-			out = append(out, candidate{
-				cost: cost, out: nil, e: e, op: OpNameBNLJ,
-				childOrds: []Order{nil, nil}, swap: swap == 1,
-			})
+	// Re-reading the inner costs only I/O when it is an unfiltered base
+	// relation, or when it is materialized under the current set — the
+	// latter decided per evaluation via matGate.
+	for swap := 0; swap < 2; swap++ {
+		outer, inner := a, b
+		if swap == 1 {
+			outer, inner = b, a
 		}
+		oB, iB := s.blocksArr[outer], s.blocksArr[inner]
+		ig := s.M.Group(inner)
+		t := tmpl{
+			op: OpNameBNLJ, e: e,
+			local:   m.BNLJCost(oB, iB, outBlocks, true),
+			matGate: -1,
+			child:   [2]childReq{{g: outer}, {g: inner}},
+			nchild:  2, swap: swap == 1,
+		}
+		if ig.Leaf && !ig.BasePred {
+			t.localSpill = t.local
+		} else {
+			t.localSpill = m.BNLJCost(oB, iB, outBlocks, false)
+			if s.slot[inner] >= 0 {
+				t.matGate = inner
+			} else {
+				t.local = t.localSpill // never re-readable
+			}
+		}
+		out = append(out, t)
 	}
 
 	// Hash join (extended operator set only): builds on the smaller side,
 	// delivers no order.
-	if c.s.ExtendedOps && ord.Empty() {
-		for swap := 0; swap < 2; swap++ {
-			build, probe := a, b
-			if swap == 1 {
-				build, probe = b, a
-			}
-			local := m.HashJoinCost(c.s.blocks(build), c.s.blocks(probe), outBlocks)
-			cost := c.useCost(build, nil) + c.useCost(probe, nil) + local
-			out = append(out, candidate{
-				cost: cost, out: nil, e: e, op: OpNameHashJoin,
-				childOrds: []Order{nil, nil}, swap: swap == 1,
-			})
+	for swap := 0; swap < 2; swap++ {
+		build, probe := a, b
+		if swap == 1 {
+			build, probe = b, a
 		}
+		local := m.HashJoinCost(s.blocksArr[build], s.blocksArr[probe], outBlocks)
+		out = append(out, tmpl{
+			op: OpNameHashJoin, e: e, local: local, localSpill: local, matGate: -1,
+			child:  [2]childReq{{g: build}, {g: probe}},
+			nchild: 2, swap: swap == 1, extended: true,
+		})
 	}
 
 	// Merge join: children sorted on the join columns; delivers the outer
 	// (left) column order.
-	ordA, ordB, ok := c.mergeOrders(a, b, e.Conds)
+	ordA, ordB, ok := s.mergeOrders(a, e.Conds)
 	if ok {
-		if ordA.Satisfies(ord) {
-			cost := c.useCost(a, ordA) + c.useCost(b, ordB) + m.MergeJoinCost(aBlocks, bBlocks, outBlocks)
-			out = append(out, candidate{cost: cost, out: ordA, e: e, op: OpNameMergeJoin, childOrds: []Order{ordA, ordB}})
-		}
-		if ordB.Satisfies(ord) {
-			cost := c.useCost(b, ordB) + c.useCost(a, ordA) + m.MergeJoinCost(bBlocks, aBlocks, outBlocks)
-			out = append(out, candidate{cost: cost, out: ordB, e: e, op: OpNameMergeJoin, childOrds: []Order{ordB, ordA}, swap: true})
-		}
+		ia, ib := s.intern(ordA), s.intern(ordB)
+		mjAB := m.MergeJoinCost(aBlocks, bBlocks, outBlocks)
+		mjBA := m.MergeJoinCost(bBlocks, aBlocks, outBlocks)
+		out = append(out, tmpl{
+			op: OpNameMergeJoin, e: e, local: mjAB, localSpill: mjAB, matGate: -1,
+			out:    ia,
+			child:  [2]childReq{{g: a, ord: ia}, {g: b, ord: ib}},
+			nchild: 2,
+		})
+		out = append(out, tmpl{
+			op: OpNameMergeJoin, e: e, local: mjBA, localSpill: mjBA, matGate: -1,
+			out:    ib,
+			child:  [2]childReq{{g: b, ord: ib}, {g: a, ord: ia}},
+			nchild: 2, swap: true,
+		})
 	}
 	return out
 }
 
 // mergeOrders splits the join conditions into the column sequences each
 // child must be sorted on, in a deterministic condition order.
-func (c *sctx) mergeOrders(a, b memo.GroupID, conds []expr.EqJoin) (Order, Order, bool) {
-	ap := c.s.M.Group(a).Props
+func (s *Searcher) mergeOrders(a memo.GroupID, conds []expr.EqJoin) (Order, Order, bool) {
+	ap := s.M.Group(a).Props
 	type pair struct{ ca, cb expr.Col }
 	pairs := make([]pair, 0, len(conds))
 	for _, j := range conds {
@@ -231,10 +237,10 @@ func (c *sctx) mergeOrders(a, b memo.GroupID, conds []expr.EqJoin) (Order, Order
 	return ordA, ordB, len(ordA) > 0
 }
 
-func (c *sctx) aggCandidates(g memo.GroupID, e *memo.MExpr, ord Order) []candidate {
-	m := c.s.M.Model
+func (s *Searcher) aggTemplates(g memo.GroupID, e *memo.MExpr) []tmpl {
+	m := s.M.Model
 	child := e.Children[0]
-	childBlocks := c.s.blocks(child)
+	childBlocks := s.blocksArr[child]
 	spec := e.Spec
 	op := OpNameSortAgg
 	if e.Kind == memo.OpReAgg {
@@ -242,33 +248,61 @@ func (c *sctx) aggCandidates(g memo.GroupID, e *memo.MExpr, ord Order) []candida
 	}
 	if len(spec.GroupBy) == 0 {
 		// Scalar aggregation over any input order.
-		if !ord.Empty() {
-			return nil
-		}
-		cost := c.useCost(child, nil) + m.AggCost(childBlocks)
-		return []candidate{{cost: cost, out: nil, e: e, op: op, childOrds: []Order{nil}}}
+		local := m.AggCost(childBlocks)
+		return []tmpl{{
+			op: op, e: e, local: local, localSpill: local, matGate: -1,
+			child: [2]childReq{{g: child}}, nchild: 1,
+		}}
 	}
 	gb := append(Order(nil), spec.GroupBy...)
 	sort.Slice(gb, func(i, j int) bool { return gb[i].String() < gb[j].String() })
-	var out []candidate
-	if gb.Satisfies(ord) {
-		cost := c.useCost(child, gb) + m.AggCost(childBlocks)
-		out = append(out, candidate{cost: cost, out: gb, e: e, op: op, childOrds: []Order{gb}})
-	}
+	gid := s.intern(gb)
+	local := m.AggCost(childBlocks)
+	out := []tmpl{{
+		op: op, e: e, local: local, localSpill: local, matGate: -1,
+		out: gid, child: [2]childReq{{g: child, ord: gid}}, nchild: 1,
+	}}
 	// Hash aggregation (extended operator set only): unsorted input,
 	// unordered output.
-	if c.s.ExtendedOps && ord.Empty() && e.Kind == memo.OpAgg {
-		cost := c.useCost(child, nil) + m.HashAggCost(childBlocks, c.s.blocks(g))
-		out = append(out, candidate{cost: cost, out: nil, e: e, op: OpNameHashAgg, childOrds: []Order{nil}})
+	if e.Kind == memo.OpAgg {
+		ha := m.HashAggCost(childBlocks, s.blocksArr[g])
+		out = append(out, tmpl{
+			op: OpNameHashAgg, e: e, local: ha, localSpill: ha, matGate: -1,
+			child: [2]childReq{{g: child}}, nchild: 1, extended: true,
+		})
 	}
 	return out
 }
 
-// rescannable reports whether re-reading the group costs only I/O: an
-// unfiltered base relation (re-scan the table) or a result materialized
-// under the current set. Filtered leaves and intermediate results must be
-// spilled to a temporary file first, which BNLJCost charges.
-func (c *sctx) rescannable(g memo.GroupID) bool {
-	grp := c.s.M.Group(g)
-	return (grp.Leaf && !grp.BasePred) || c.mat[g]
+// candidate is one priced implementation choice, produced only during plan
+// extraction (the cost search itself runs directly over the templates).
+type candidate struct {
+	cost     float64
+	out      ordID
+	t        *tmpl
+	childOrd [2]ordID // resolved child requirements (filters forward ord)
+}
+
+// enumCandidates prices the group's implementations for the required order
+// under the worker's current materialization set, in template order.
+func (w *worker) enumCandidates(g memo.GroupID, ord ordID) []candidate {
+	s := w.s
+	var out []candidate
+	for i := range s.tmpls[g] {
+		t := &s.tmpls[g][i]
+		cost, o, ok := w.price(t, ord)
+		if !ok {
+			continue
+		}
+		c := candidate{cost: cost, out: o, t: t}
+		if t.passthrough {
+			c.childOrd[0] = ord
+		} else {
+			for ci := uint8(0); ci < t.nchild; ci++ {
+				c.childOrd[ci] = t.child[ci].ord
+			}
+		}
+		out = append(out, c)
+	}
+	return out
 }

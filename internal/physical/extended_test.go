@@ -14,10 +14,10 @@ func TestExtendedOpsNeverIncreaseCost(t *testing.T) {
 	sh := base.M.Shareable()
 	r := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 25; trial++ {
-		set := NodeSet{}
+		set := base.NewNodeSet()
 		for _, id := range sh {
 			if r.Intn(2) == 0 {
-				set[id] = true
+				set.Add(id)
 			}
 		}
 		b, e := base.BestCost(set), ext.BestCost(set)
@@ -30,9 +30,9 @@ func TestExtendedOpsNeverIncreaseCost(t *testing.T) {
 func TestExtendedPlanTotalsConsistent(t *testing.T) {
 	ext := buildSearcher(t, sharedPairQueries()...)
 	ext.ExtendedOps = true
-	set := NodeSet{}
+	set := ext.NewNodeSet()
 	for _, id := range ext.M.Shareable() {
-		set[id] = true
+		set.Add(id)
 		break
 	}
 	want := ext.BestCost(set)

@@ -15,10 +15,10 @@ func TestMatOrdersNeverIncreaseCost(t *testing.T) {
 	sh := with.M.Shareable()
 	r := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 30; trial++ {
-		set := NodeSet{}
+		set := with.NewNodeSet()
 		for _, id := range sh {
 			if r.Intn(2) == 0 {
-				set[id] = true
+				set.Add(id)
 			}
 		}
 		w, wo := with.BestCost(set), without.BestCost(set)
@@ -33,10 +33,10 @@ func TestMatOrdersPlanStillValidates(t *testing.T) {
 	sh := s.M.Shareable()
 	r := rand.New(rand.NewSource(29))
 	for trial := 0; trial < 15; trial++ {
-		set := NodeSet{}
+		set := s.NewNodeSet()
 		for _, id := range sh {
 			if r.Intn(2) == 0 {
-				set[id] = true
+				set.Add(id)
 			}
 		}
 		plan := s.BestPlan(set)

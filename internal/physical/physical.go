@@ -17,10 +17,55 @@
 // shareable nodes below each group — the incremental recomputation
 // optimization of Section 5.1: adding one node to S invalidates only the
 // costs of its ancestors.
+//
+// # Hot-path representation
+//
+// The oracle is allocation-free. At construction the Searcher compiles the
+// memo into immutable lookup structures:
+//
+//   - an order registry interning every sort order that can ever be
+//     required or delivered (clustered-scan orders, index orders, merge-join
+//     orders, group-by orders) into small integer ids, with a precomputed
+//     "satisfies" matrix, so order handling is integer indexing instead of
+//     string keys;
+//   - per-group candidate templates: each physical implementation choice is
+//     flattened into {precomputed local cost, child group ids, child order
+//     ids, delivered order id}, enumerated in exactly the order the
+//     candidate generator defines (ties in the strict-< minimum therefore
+//     resolve identically to a naive enumeration);
+//   - per-group cost-model constants (blocks, sort/read/write costs), DAG
+//     depths and shareable-descendant bitsets.
+//
+// Materialization sets are Bitsets indexed by shareable-node slot (see
+// memo.ShareIndex); NodeSet wraps one with the index needed to translate
+// group ids. Per-call memo tables are flat epoch-stamped arrays indexed by
+// (group, order id) that are reset in O(1) by bumping the epoch, and the
+// cross-call cache is keyed by the pure value struct
+// {group, order id, compute, mask hash}.
+//
+// # Concurrency contract
+//
+// After construction all compiled structures are immutable. Mutable
+// per-evaluation state (scratch tables, the cross-call cache, stat
+// counters) lives in per-worker contexts: sequential entry points
+// (BestCost, BestUseCost, BestPlan, ValidatePlan) share worker 0 and are
+// not safe for concurrent use, while BestCostBatch evaluates many
+// materialization sets concurrently on up to Parallelism workers, each
+// with a private scratch context and private cross-call cache. Costs are
+// pure functions of (memo, set), so batch results are bit-identical to
+// sequential evaluation regardless of scheduling. The flags may only be
+// toggled between evaluations, never during a concurrent batch — and
+// because cached cross-call costs are priced under the flags in effect
+// when they were computed, toggling ExtendedOps or MatOrders requires a
+// ClearCache call (the volcano.Optimizer setters do this).
 package physical
 
 import (
+	"math/bits"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/memo"
@@ -59,8 +104,80 @@ func (o Order) Satisfies(req Order) bool {
 // Empty reports whether the order imposes no requirement.
 func (o Order) Empty() bool { return len(o) == 0 }
 
-// Searcher owns the cross-call caches for one combined DAG. It is not safe
-// for concurrent use.
+// ordID is an interned order: an index into the searcher's order registry.
+// ordID 0 is the empty ("any") order.
+type ordID int32
+
+// NodeSet is a materialization set: a bitset over the shareable-node slots
+// of the searcher's ShareIndex. The zero value is the empty set; non-empty
+// sets are created with Searcher.NewNodeSet / Optimizer.NewNodeSet.
+type NodeSet struct {
+	si   *memo.ShareIndex
+	bits memo.Bitset
+}
+
+// NewNodeSet returns a materialization set over this searcher's shareable
+// nodes containing the given groups.
+func (s *Searcher) NewNodeSet(ids ...memo.GroupID) NodeSet {
+	ns := NodeSet{si: s.SI, bits: s.SI.NewMatSet()}
+	for _, id := range ids {
+		ns.Add(id)
+	}
+	return ns
+}
+
+// Add inserts a shareable group into the set; it panics if the group is
+// not shareable (non-shareable nodes are never worth materializing and
+// have no bitset slot). The zero-value NodeSet carries no share index and
+// cannot grow — build growable sets with NewNodeSet.
+func (ns NodeSet) Add(id memo.GroupID) {
+	if ns.si == nil {
+		panic("physical: Add on a zero-value NodeSet; create sets with NewNodeSet")
+	}
+	if !ns.si.Set(ns.bits, id) {
+		panic("physical: NodeSet.Add of non-shareable group")
+	}
+}
+
+// With returns a copy of the set with the extra node added.
+func (ns NodeSet) With(id memo.GroupID) NodeSet {
+	out := NodeSet{si: ns.si, bits: ns.bits.Clone()}
+	out.Add(id)
+	return out
+}
+
+// Clone returns a copy of the set.
+func (ns NodeSet) Clone() NodeSet {
+	return NodeSet{si: ns.si, bits: ns.bits.Clone()}
+}
+
+// Has reports membership.
+func (ns NodeSet) Has(id memo.GroupID) bool {
+	if ns.si == nil {
+		return false
+	}
+	return ns.si.Has(ns.bits, id)
+}
+
+// Len returns the set size.
+func (ns NodeSet) Len() int { return ns.bits.Count() }
+
+// Empty reports whether the set is empty.
+func (ns NodeSet) Empty() bool { return ns.bits.Count() == 0 }
+
+// Groups returns the member group ids in ascending order.
+func (ns NodeSet) Groups() []memo.GroupID {
+	if ns.si == nil {
+		return nil
+	}
+	return ns.si.Groups(ns.bits)
+}
+
+// Bits exposes the underlying bitset (shared storage, do not mutate).
+func (ns NodeSet) Bits() memo.Bitset { return ns.bits }
+
+// Searcher owns the compiled search structures and cross-call caches for
+// one combined DAG. See the package comment for the concurrency contract.
 type Searcher struct {
 	M  *memo.Memo
 	SI *memo.ShareIndex
@@ -73,6 +190,8 @@ type Searcher struct {
 	// operator set (relation scan, indexed selection, NLJ, merge join,
 	// sort, sort-based aggregation). Off by default: the experiments use
 	// the paper's rule set; the extended-operator ablation turns it on.
+	// Toggling it invalidates previously cached costs — call ClearCache
+	// (volcano.Optimizer.SetExtendedOps does).
 	ExtendedOps bool
 
 	// MatOrders stores each materialized result in the sort order its
@@ -80,11 +199,28 @@ type Searcher struct {
 	// order satisfies skip the re-sort — the physical-property handling on
 	// intermediate relations the paper's Section 6 implementation
 	// includes. On by default; disabling it models order-less spools.
+	// Like ExtendedOps, toggling it requires a ClearCache call.
 	MatOrders bool
 
-	cache      map[cacheKey]float64
-	scanCache  map[*memo.MExpr]*scanInfo
-	depthCache map[memo.GroupID]int
+	// Parallelism bounds the worker count of BestCostBatch; 0 means
+	// GOMAXPROCS.
+	Parallelism int
+
+	// Compiled structures, immutable after NewSearcher.
+	orders    []Order  // order registry; orders[0] = nil
+	sat       [][]bool // sat[have][want] = orders[have].Satisfies(orders[want])
+	tmpls     [][]tmpl // candidate templates per group
+	slot      []int32  // shareable slot per group, -1 if none
+	depths    []int32  // DAG height per group
+	desc      []memo.Bitset
+	blocksArr []float64 // output blocks per group
+	sortArr   []float64 // SortCost per group
+	readArr   []float64 // MaterializeReadCost per group
+	writeArr  []float64 // MaterializeWriteCost per group
+	numOrds   int
+
+	workers []*worker
+	ordIdx  map[string]ordID // construction only
 
 	// Stats.
 	BCCalls     int // bestCost invocations
@@ -92,113 +228,240 @@ type Searcher struct {
 	ComputedKey int // fresh (group, order, mask) computations
 }
 
-type cacheKey struct {
-	g       memo.GroupID
-	ord     string
-	compute bool
-	mask    uint64
-}
-
 // NewSearcher returns a searcher over the given memo with the incremental
 // cache and materialized-order handling enabled.
 func NewSearcher(m *memo.Memo) *Searcher {
-	return &Searcher{
+	s := &Searcher{
 		M:           m,
 		SI:          m.NewShareIndex(),
 		Incremental: true,
 		MatOrders:   true,
-		cache:       map[cacheKey]float64{},
 	}
+	s.prepare()
+	return s
 }
 
 // ResetStats clears the counters (not the cache).
 func (s *Searcher) ResetStats() { s.BCCalls, s.CacheHits, s.ComputedKey = 0, 0, 0 }
 
-// ClearCache drops the cross-call cache.
-func (s *Searcher) ClearCache() { s.cache = map[cacheKey]float64{} }
-
-// NodeSet is a materialization set.
-type NodeSet map[memo.GroupID]bool
-
-// Clone returns a copy of the set.
-func (ns NodeSet) Clone() NodeSet {
-	out := make(NodeSet, len(ns)+1)
-	for k := range ns {
-		out[k] = true
+// ClearCache drops the cross-call caches of every worker.
+func (s *Searcher) ClearCache() {
+	for _, w := range s.workers {
+		w.cache = map[cacheKey]float64{}
 	}
-	return out
 }
 
-// With returns a copy of the set with the extra node added.
-func (ns NodeSet) With(id memo.GroupID) NodeSet {
-	out := ns.Clone()
-	out[id] = true
-	return out
+type cacheKey struct {
+	g       memo.GroupID
+	ord     ordID
+	compute bool
+	mask    uint64
 }
 
-// sctx is the per-bestCost-call state.
-type sctx struct {
-	s      *Searcher
-	mat    NodeSet
-	bits   []uint64
-	use    map[localKey]float64
-	comp   map[localKey]float64
-	stored map[memo.GroupID]Order // delivered order of each materialization
-}
-
-type localKey struct {
-	g   memo.GroupID
-	ord string
-}
-
-func (s *Searcher) newCtx(mat NodeSet) *sctx {
-	bits := s.SI.NewMatSet()
-	for id := range mat {
-		s.SI.Set(bits, id)
+// prepare compiles the memo into the immutable hot-path structures.
+func (s *Searcher) prepare() {
+	n := s.M.NumGroups()
+	s.slot = make([]int32, n)
+	s.depths = make([]int32, n)
+	s.desc = make([]memo.Bitset, n)
+	s.blocksArr = make([]float64, n)
+	s.sortArr = make([]float64, n)
+	s.readArr = make([]float64, n)
+	s.writeArr = make([]float64, n)
+	s.ordIdx = map[string]ordID{"": 0}
+	s.orders = []Order{nil}
+	for i := 0; i < n; i++ {
+		id := memo.GroupID(i)
+		s.slot[i] = int32(s.SI.Pos(id))
+		s.depths[i] = -1
+		s.desc[i] = s.SI.Descendants(id)
+		p := s.M.Group(id).Props
+		b := s.M.Model.Blocks(p.Rows, p.Width)
+		s.blocksArr[i] = b
+		s.sortArr[i] = s.M.Model.SortCost(b)
+		s.readArr[i] = s.M.Model.MaterializeReadCost(b)
+		s.writeArr[i] = s.M.Model.MaterializeWriteCost(b)
 	}
-	c := &sctx{
-		s:      s,
-		mat:    mat,
-		bits:   bits,
-		use:    map[localKey]float64{},
-		comp:   map[localKey]float64{},
-		stored: map[memo.GroupID]Order{},
+	for i := 0; i < n; i++ {
+		s.fillDepth(memo.GroupID(i))
 	}
-	if s.MatOrders {
-		// Determine each materialization's stored order in dependency
-		// (depth) order, so a node's compute plan can already exploit the
-		// materializations below it.
-		ids := sortedSet(mat)
-		sortByDepth(s, ids)
+	s.tmpls = make([][]tmpl, n)
+	for i := 0; i < n; i++ {
+		s.tmpls[i] = s.buildTemplates(memo.GroupID(i))
+	}
+	s.numOrds = len(s.orders)
+	s.sat = make([][]bool, s.numOrds)
+	for i := range s.sat {
+		row := make([]bool, s.numOrds)
+		for j := range row {
+			row[j] = s.orders[i].Satisfies(s.orders[j])
+		}
+		s.sat[i] = row
+	}
+	s.ordIdx = nil // registry is sealed
+	s.workers = []*worker{s.newWorker()}
+}
+
+// intern registers an order and returns its id; construction-time only.
+func (s *Searcher) intern(o Order) ordID {
+	k := o.Key()
+	if id, ok := s.ordIdx[k]; ok {
+		return id
+	}
+	id := ordID(len(s.orders))
+	s.orders = append(s.orders, o)
+	s.ordIdx[k] = id
+	return id
+}
+
+func (s *Searcher) fillDepth(g memo.GroupID) int32 {
+	if s.depths[g] >= 0 {
+		return s.depths[g]
+	}
+	s.depths[g] = 0
+	var d int32
+	for _, e := range s.M.Group(g).Exprs {
+		for _, ch := range e.Children {
+			if cd := s.fillDepth(ch) + 1; cd > d {
+				d = cd
+			}
+		}
+	}
+	s.depths[g] = d
+	return d
+}
+
+// depth returns the height of a group in the DAG (leaves are 0), used to
+// order materialization steps so dependencies are computed first.
+func (s *Searcher) depth(g memo.GroupID) int { return int(s.depths[g]) }
+
+// worker is one evaluation context: per-call scratch tables plus a private
+// cross-call cache. Sequential entry points use worker 0; BestCostBatch
+// uses one worker per goroutine.
+type worker struct {
+	s     *Searcher
+	cache map[cacheKey]float64
+
+	epoch     uint32
+	bits      memo.Bitset // current materialization set
+	useVal    []float64   // (group, ord) -> use cost
+	useEp     []uint32
+	compVal   []float64 // (group, ord) -> compute cost
+	compEp    []uint32
+	storedOrd []ordID // delivered order of each materialization
+	storedEp  []uint32
+	mhVal     []uint64 // mask-hash per group
+	mhEp      []uint32
+	matIDs    []memo.GroupID // scratch for stored-order initialization
+
+	bcCalls, cacheHits, computedKey int
+}
+
+func (s *Searcher) newWorker() *worker {
+	n := s.M.NumGroups()
+	return &worker{
+		s:         s,
+		cache:     map[cacheKey]float64{},
+		bits:      s.SI.NewMatSet(),
+		useVal:    make([]float64, n*s.numOrds),
+		useEp:     make([]uint32, n*s.numOrds),
+		compVal:   make([]float64, n*s.numOrds),
+		compEp:    make([]uint32, n*s.numOrds),
+		storedOrd: make([]ordID, n),
+		storedEp:  make([]uint32, n),
+		mhVal:     make([]uint64, n),
+		mhEp:      make([]uint32, n),
+		matIDs:    make([]memo.GroupID, 0, 64),
+	}
+}
+
+// worker returns the i-th worker, growing the pool on demand.
+func (s *Searcher) worker(i int) *worker {
+	for len(s.workers) <= i {
+		s.workers = append(s.workers, s.newWorker())
+	}
+	return s.workers[i]
+}
+
+// flushStats folds worker-local counters into the searcher totals; called
+// only from single-goroutine contexts.
+func (w *worker) flushStats() {
+	w.s.BCCalls += w.bcCalls
+	w.s.CacheHits += w.cacheHits
+	w.s.ComputedKey += w.computedKey
+	w.bcCalls, w.cacheHits, w.computedKey = 0, 0, 0
+}
+
+// initCall resets the per-call scratch state for a new materialization set
+// and, with MatOrders on, fixes each materialization's stored order in
+// dependency (depth) order, so a node's compute plan can already exploit
+// the materializations below it.
+func (w *worker) initCall(mat memo.Bitset) {
+	w.epoch++
+	if w.epoch == 0 { // wrapped: stamps are ambiguous, hard-reset
+		for i := range w.useEp {
+			w.useEp[i] = 0
+			w.compEp[i] = 0
+		}
+		for i := range w.storedEp {
+			w.storedEp[i] = 0
+			w.mhEp[i] = 0
+		}
+		w.epoch = 1
+	}
+	for i := range w.bits {
+		w.bits[i] = 0
+	}
+	copy(w.bits, mat)
+	if w.s.MatOrders {
+		ids := w.matGroups()
+		sortByDepth(w.s, ids)
 		for _, id := range ids {
-			c.stored[id] = c.bestDeliveredOrder(id)
+			w.storedOrd[id] = w.bestDeliveredOrder(id)
+			w.storedEp[id] = w.epoch
 		}
 	}
-	return c
 }
 
-// bestDeliveredOrder returns the order delivered by the cheapest
-// unconstrained compute plan of the group.
-func (c *sctx) bestDeliveredOrder(g memo.GroupID) Order {
-	best := inf
-	var out Order
-	for _, cand := range c.candidates(g, nil) {
-		if cand.cost < best {
-			best = cand.cost
-			out = cand.out
+// matGroups gathers the current set's group ids (ascending) into the
+// worker's scratch slice.
+func (w *worker) matGroups() []memo.GroupID {
+	ids := w.matIDs[:0]
+	for wi, v := range w.bits {
+		for v != 0 {
+			b := bits.TrailingZeros64(v)
+			ids = append(ids, w.s.SI.GroupAt(wi*64+b))
+			v &= v - 1
 		}
 	}
-	return out
+	w.matIDs = ids
+	return ids
 }
 
-// matUseCost returns the cost of reading a materialized group in the
-// required order, plus whether a re-sort is needed.
-func (c *sctx) matUseCost(g memo.GroupID, ord Order) (float64, bool) {
-	cost := c.s.matReadCost(g)
-	if ord.Empty() || c.stored[g].Satisfies(ord) {
-		return cost, false
+// matHas reports whether the group is in the current materialization set.
+func (w *worker) matHas(g memo.GroupID) bool {
+	sl := w.s.slot[g]
+	return sl >= 0 && w.bits.HasSlot(int(sl))
+}
+
+// stored returns the delivered order of a materialized group this call.
+func (w *worker) stored(g memo.GroupID) ordID {
+	if w.storedEp[g] != w.epoch {
+		return 0
 	}
-	return cost + c.s.sortCost(g), true
+	return w.storedOrd[g]
+}
+
+// maskHash returns the Section 5.1 cache mask for the group under the
+// current set, memoized per call.
+func (w *worker) maskHash(g memo.GroupID) uint64 {
+	if w.mhEp[g] == w.epoch {
+		return w.mhVal[g]
+	}
+	v := memo.HashMasked(w.s.desc[g], w.bits)
+	w.mhVal[g] = v
+	w.mhEp[g] = w.epoch
+	return v
 }
 
 func sortByDepth(s *Searcher, ids []memo.GroupID) {
@@ -216,55 +479,116 @@ func sortByDepth(s *Searcher, ids []memo.GroupID) {
 
 // BestCost is bc(S): see the package comment.
 func (s *Searcher) BestCost(mat NodeSet) float64 {
-	s.BCCalls++
-	c := s.newCtx(mat)
+	w := s.worker(0)
+	v := s.bestCostOn(w, mat.bits)
+	w.flushStats()
+	return v
+}
+
+func (s *Searcher) bestCostOn(w *worker, mat memo.Bitset) float64 {
+	w.bcCalls++
+	w.initCall(mat)
 	total := 0.0
-	for _, id := range sortedSet(mat) {
-		total += c.compute(id, nil) + s.matWriteCost(id)
+	for _, id := range w.matGroups() {
+		total += w.compute(id, 0) + s.writeArr[id]
 	}
 	for _, root := range s.M.QueryRoots {
-		total += c.useCost(root, nil)
+		total += w.useCost(root, 0)
 	}
 	return total
+}
+
+// BestCostBatch evaluates bc(S) for every set concurrently on up to
+// Parallelism workers and returns the costs in input order. Results are
+// bit-identical to calling BestCost sequentially.
+func (s *Searcher) BestCostBatch(mats []NodeSet) []float64 {
+	out := make([]float64, len(mats))
+	par := s.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(mats) {
+		par = len(mats)
+	}
+	if par <= 1 {
+		w := s.worker(0)
+		for i, m := range mats {
+			out[i] = s.bestCostOn(w, m.bits)
+		}
+		w.flushStats()
+		return out
+	}
+	workers := make([]*worker, par)
+	for k := range workers {
+		workers[k] = s.worker(k)
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for k := 0; k < par; k++ {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(mats) {
+					return
+				}
+				out[i] = s.bestCostOn(w, mats[i].bits)
+			}
+		}(workers[k])
+	}
+	wg.Wait()
+	for _, w := range workers {
+		w.flushStats()
+	}
+	return out
 }
 
 // BestUseCost is buc(S): the cost of the optimal plan that may exploit S
 // but does not pay for computing or materializing it.
 func (s *Searcher) BestUseCost(mat NodeSet) float64 {
-	c := s.newCtx(mat)
+	w := s.worker(0)
+	w.initCall(mat.bits)
 	total := 0.0
 	for _, root := range s.M.QueryRoots {
-		total += c.useCost(root, nil)
+		total += w.useCost(root, 0)
 	}
+	w.flushStats()
 	return total
 }
 
 // useCost returns the cheapest way for a consumer to obtain the group's
 // result in the required order.
-func (c *sctx) useCost(g memo.GroupID, ord Order) float64 {
-	lk := localKey{g, ord.Key()}
-	if v, ok := c.use[lk]; ok {
-		return v
+func (w *worker) useCost(g memo.GroupID, ord ordID) float64 {
+	s := w.s
+	idx := int(g)*s.numOrds + int(ord)
+	if w.useEp[idx] == w.epoch {
+		return w.useVal[idx]
 	}
 	var ck cacheKey
-	if c.s.Incremental {
-		ck = cacheKey{g: g, ord: lk.ord, compute: false, mask: c.s.SI.MaskHash(g, c.bits)}
-		if v, ok := c.s.cache[ck]; ok {
-			c.s.CacheHits++
-			c.use[lk] = v
+	if s.Incremental {
+		ck = cacheKey{g: g, ord: ord, compute: false, mask: w.maskHash(g)}
+		if v, ok := w.cache[ck]; ok {
+			w.cacheHits++
+			w.useVal[idx] = v
+			w.useEp[idx] = w.epoch
 			return v
 		}
 	}
-	v := c.compute(g, ord)
-	if c.mat[g] {
-		alt, _ := c.matUseCost(g, ord)
+	v := w.compute(g, ord)
+	if w.matHas(g) {
+		alt := s.readArr[g]
+		if !s.sat[w.stored(g)][ord] {
+			alt += s.sortArr[g] // re-sort the materialized copy
+		}
 		if alt < v {
 			v = alt
 		}
 	}
-	c.use[lk] = v
-	if c.s.Incremental {
-		c.s.cache[ck] = v
+	w.useVal[idx] = v
+	w.useEp[idx] = w.epoch
+	if s.Incremental {
+		w.cache[ck] = v
 	}
 	return v
 }
@@ -272,69 +596,89 @@ func (c *sctx) useCost(g memo.GroupID, ord Order) float64 {
 // compute returns the cheapest plan that computes the group from its
 // inputs (ignoring a materialized copy of the group itself) in the
 // required order.
-func (c *sctx) compute(g memo.GroupID, ord Order) float64 {
-	lk := localKey{g, ord.Key()}
-	if v, ok := c.comp[lk]; ok {
-		return v
+func (w *worker) compute(g memo.GroupID, ord ordID) float64 {
+	s := w.s
+	idx := int(g)*s.numOrds + int(ord)
+	if w.compEp[idx] == w.epoch {
+		return w.compVal[idx]
 	}
-	c.comp[lk] = inf // guard against accidental cycles
+	w.compVal[idx] = inf // guard against accidental cycles
+	w.compEp[idx] = w.epoch
 	var ck cacheKey
-	if c.s.Incremental {
-		ck = cacheKey{g: g, ord: lk.ord, compute: true, mask: c.s.SI.MaskHash(g, c.bits)}
-		if v, ok := c.s.cache[ck]; ok {
-			c.s.CacheHits++
-			c.comp[lk] = v
+	if s.Incremental {
+		ck = cacheKey{g: g, ord: ord, compute: true, mask: w.maskHash(g)}
+		if v, ok := w.cache[ck]; ok {
+			w.cacheHits++
+			w.compVal[idx] = v
 			return v
 		}
 	}
-	c.s.ComputedKey++
+	w.computedKey++
 	best := inf
-	for _, cand := range c.candidates(g, ord) {
-		if cand.cost < best {
-			best = cand.cost
+	for i := range s.tmpls[g] {
+		if cost, _, ok := w.price(&s.tmpls[g][i], ord); ok && cost < best {
+			best = cost
 		}
 	}
 	// Sort enforcer: compute in any order, then sort.
-	if !ord.Empty() {
-		if v := c.compute(g, nil) + c.s.sortCost(g); v < best {
+	if ord != 0 {
+		if v := w.compute(g, 0) + s.sortArr[g]; v < best {
 			best = v
 		}
 	}
-	c.comp[lk] = best
-	if c.s.Incremental {
-		c.s.cache[ck] = best
+	w.compVal[idx] = best
+	if s.Incremental {
+		w.cache[ck] = best
 	}
 	return best
 }
 
-const inf = 1e300
-
-func sortedSet(ns NodeSet) []memo.GroupID {
-	out := make([]memo.GroupID, 0, len(ns))
-	for id := range ns {
-		out = append(out, id)
+// price returns one template's total use-cost (children included) and
+// delivered order under the current materialization set; ok is false when
+// the template is gated off or cannot deliver the required order. It is
+// the single pricing rule shared by the cost search (compute), the
+// stored-order pass (bestDeliveredOrder) and plan extraction
+// (enumCandidates).
+func (w *worker) price(t *tmpl, ord ordID) (cost float64, out ordID, ok bool) {
+	s := w.s
+	if t.extended && !s.ExtendedOps {
+		return 0, 0, false
 	}
-	for i := 1; i < len(out); i++ { // insertion sort; sets are small
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	if t.passthrough {
+		// Order-preserving filter: forward the requirement.
+		return w.useCost(t.child[0].g, ord) + t.local, ord, true
+	}
+	if !s.sat[t.out][ord] {
+		return 0, 0, false
+	}
+	for ci := uint8(0); ci < t.nchild; ci++ {
+		cost += w.useCost(t.child[ci].g, t.child[ci].ord)
+	}
+	lc := t.local
+	if t.matGate >= 0 && !w.matHas(t.matGate) {
+		lc = t.localSpill
+	}
+	return cost + lc, t.out, true
+}
+
+// bestDeliveredOrder returns the order delivered by the cheapest
+// unconstrained compute plan of the group.
+func (w *worker) bestDeliveredOrder(g memo.GroupID) ordID {
+	s := w.s
+	best := inf
+	var out ordID
+	for i := range s.tmpls[g] {
+		if cost, o, ok := w.price(&s.tmpls[g][i], 0); ok && cost < best {
+			best = cost
+			out = o
 		}
 	}
 	return out
 }
 
-func (s *Searcher) blocks(g memo.GroupID) float64 {
-	p := s.M.Group(g).Props
-	return s.M.Model.Blocks(p.Rows, p.Width)
-}
+const inf = 1e300
 
-func (s *Searcher) sortCost(g memo.GroupID) float64 {
-	return s.M.Model.SortCost(s.blocks(g))
-}
-
-func (s *Searcher) matReadCost(g memo.GroupID) float64 {
-	return s.M.Model.MaterializeReadCost(s.blocks(g))
-}
-
-func (s *Searcher) matWriteCost(g memo.GroupID) float64 {
-	return s.M.Model.MaterializeWriteCost(s.blocks(g))
-}
+func (s *Searcher) blocks(g memo.GroupID) float64       { return s.blocksArr[g] }
+func (s *Searcher) sortCost(g memo.GroupID) float64     { return s.sortArr[g] }
+func (s *Searcher) matReadCost(g memo.GroupID) float64  { return s.readArr[g] }
+func (s *Searcher) matWriteCost(g memo.GroupID) float64 { return s.writeArr[g] }

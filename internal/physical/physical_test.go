@@ -95,15 +95,15 @@ func TestBestUseCostMonotone(t *testing.T) {
 	}
 	r := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 30; trial++ {
-		set := NodeSet{}
+		set := s.NewNodeSet()
 		for _, id := range sh {
 			if r.Intn(2) == 0 {
-				set[id] = true
+				set.Add(id)
 			}
 		}
 		base := s.BestUseCost(set)
 		for _, id := range sh {
-			if !set[id] {
+			if !set.Has(id) {
 				bigger := set.With(id)
 				if got := s.BestUseCost(bigger); got > base+1e-6 {
 					t.Fatalf("buc increased when adding node %d: %v -> %v", id, base, got)
@@ -119,10 +119,10 @@ func TestBestCostGEBestUseCost(t *testing.T) {
 	sh := s.M.Shareable()
 	r := rand.New(rand.NewSource(6))
 	for trial := 0; trial < 30; trial++ {
-		set := NodeSet{}
+		set := s.NewNodeSet()
 		for _, id := range sh {
 			if r.Intn(2) == 0 {
-				set[id] = true
+				set.Add(id)
 			}
 		}
 		if bc, buc := s.BestCost(set), s.BestUseCost(set); bc < buc-1e-6 {
@@ -136,10 +136,10 @@ func TestPlanTotalMatchesBestCost(t *testing.T) {
 	sh := s.M.Shareable()
 	r := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 20; trial++ {
-		set := NodeSet{}
+		set := s.NewNodeSet()
 		for _, id := range sh {
 			if r.Intn(3) == 0 {
-				set[id] = true
+				set.Add(id)
 			}
 		}
 		want := s.BestCost(set)
@@ -147,8 +147,8 @@ func TestPlanTotalMatchesBestCost(t *testing.T) {
 		if diff := plan.Total - want; diff > 1e-6 || diff < -1e-6 {
 			t.Fatalf("plan total %v != bestCost %v for S=%v", plan.Total, want, set)
 		}
-		if len(plan.Steps) != len(set) {
-			t.Fatalf("plan has %d steps for |S|=%d", len(plan.Steps), len(set))
+		if len(plan.Steps) != set.Len() {
+			t.Fatalf("plan has %d steps for |S|=%d", len(plan.Steps), set.Len())
 		}
 	}
 }
@@ -161,10 +161,10 @@ func TestIncrementalCacheMatchesCold(t *testing.T) {
 	sh := sWarm.M.Shareable()
 	r := rand.New(rand.NewSource(8))
 	for trial := 0; trial < 40; trial++ {
-		set := NodeSet{}
+		set := sWarm.NewNodeSet()
 		for _, id := range sh {
 			if r.Intn(2) == 0 {
-				set[id] = true
+				set.Add(id)
 			}
 		}
 		w, c := sWarm.BestCost(set), sCold.BestCost(set)
@@ -182,7 +182,7 @@ func TestMaterializingSharedNodeHelps(t *testing.T) {
 	base := s.BestCost(NodeSet{})
 	best := base
 	for _, id := range s.M.Shareable() {
-		if c := s.BestCost(NodeSet{id: true}); c < best {
+		if c := s.BestCost(s.NewNodeSet(id)); c < best {
 			best = c
 		}
 	}
@@ -251,14 +251,14 @@ func TestMatScanAppearsInSharedPlan(t *testing.T) {
 	// Pick the best single node and check the plan reads it at least twice.
 	bestID, bestCost := memo.GroupID(-1), s.BestCost(NodeSet{})
 	for _, id := range sh {
-		if c := s.BestCost(NodeSet{id: true}); c < bestCost {
+		if c := s.BestCost(s.NewNodeSet(id)); c < bestCost {
 			bestCost, bestID = c, id
 		}
 	}
 	if bestID < 0 {
 		t.Skip("no beneficial node in this instance")
 	}
-	plan := s.BestPlan(NodeSet{bestID: true})
+	plan := s.BestPlan(s.NewNodeSet(bestID))
 	uses := 0
 	var walk func(n *PlanNode)
 	walk = func(n *PlanNode) {
@@ -281,19 +281,51 @@ func TestMatScanAppearsInSharedPlan(t *testing.T) {
 }
 
 func TestNodeSetOps(t *testing.T) {
-	s := NodeSet{1: true}
-	w := s.With(2)
-	if !w[1] || !w[2] || len(w) != 2 {
-		t.Errorf("With: %v", w)
+	srch := buildSearcher(t, sharedPairQueries()...)
+	sh := srch.M.Shareable()
+	if len(sh) < 3 {
+		t.Skip("need at least 3 shareable nodes")
 	}
-	if len(s) != 1 {
+	s := srch.NewNodeSet(sh[0])
+	w := s.With(sh[1])
+	if !w.Has(sh[0]) || !w.Has(sh[1]) || w.Len() != 2 {
+		t.Errorf("With: %v", w.Groups())
+	}
+	if s.Len() != 1 {
 		t.Error("With mutated the receiver")
 	}
 	c := s.Clone()
-	c[3] = true
-	if s[3] {
+	c.Add(sh[2])
+	if s.Has(sh[2]) {
 		t.Error("Clone shares storage")
 	}
+	if got := w.Groups(); len(got) != 2 || got[0] != sh[0] || got[1] != sh[1] {
+		t.Errorf("Groups: %v", got)
+	}
+	var empty NodeSet
+	if empty.Len() != 0 || empty.Has(sh[0]) || empty.Groups() != nil {
+		t.Error("zero NodeSet is not the empty set")
+	}
+	shared := map[memo.GroupID]bool{}
+	for _, id := range sh {
+		shared[id] = true
+	}
+	nonShareable := memo.GroupID(-1)
+	for i := 0; i < srch.M.NumGroups(); i++ {
+		if !shared[memo.GroupID(i)] {
+			nonShareable = memo.GroupID(i)
+			break
+		}
+	}
+	if nonShareable < 0 {
+		t.Skip("every group is shareable on this instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add of non-shareable group did not panic")
+		}
+	}()
+	srch.NewNodeSet().Add(nonShareable)
 }
 
 func TestDeterministicCosts(t *testing.T) {
@@ -301,10 +333,10 @@ func TestDeterministicCosts(t *testing.T) {
 	a := buildSearcher(t, sharedPairQueries()...)
 	b := buildSearcher(t, sharedPairQueries()...)
 	sh := a.M.Shareable()
-	set := NodeSet{}
+	set := a.NewNodeSet()
 	for i, id := range sh {
 		if i%2 == 0 {
-			set[id] = true
+			set.Add(id)
 		}
 	}
 	if x, y := a.BestCost(set), b.BestCost(set); x != y {

@@ -43,11 +43,14 @@ type ConsolidatedPlan struct {
 }
 
 // BestPlan extracts the optimal consolidated plan for the given
-// materialization set. Its Total equals BestCost(mat).
+// materialization set. Its Total equals BestCost(mat). It shares worker 0
+// with the other sequential entry points and is not safe for concurrent
+// use.
 func (s *Searcher) BestPlan(mat NodeSet) *ConsolidatedPlan {
-	c := s.newCtx(mat)
+	w := s.worker(0)
+	w.initCall(mat.bits)
 	cp := &ConsolidatedPlan{QueryNames: append([]string(nil), s.M.QueryNames...)}
-	ids := sortedSet(mat)
+	ids := append([]memo.GroupID(nil), w.matGroups()...)
 	sort.Slice(ids, func(i, j int) bool {
 		di, dj := s.depth(ids[i]), s.depth(ids[j])
 		if di != dj {
@@ -56,59 +59,43 @@ func (s *Searcher) BestPlan(mat NodeSet) *ConsolidatedPlan {
 		return ids[i] < ids[j]
 	})
 	for _, id := range ids {
-		p := c.extractCompute(id, nil)
-		w := s.matWriteCost(id)
-		cp.Steps = append(cp.Steps, MatStep{Group: id, Plan: p, WriteCost: w})
-		cp.Total += p.Cost + w
+		p := w.extractCompute(id, 0)
+		wc := s.writeArr[id]
+		cp.Steps = append(cp.Steps, MatStep{Group: id, Plan: p, WriteCost: wc})
+		cp.Total += p.Cost + wc
 	}
 	for _, root := range s.M.QueryRoots {
-		p := c.extractUse(root, nil)
+		p := w.extractUse(root, 0)
 		cp.Queries = append(cp.Queries, p)
 		cp.Total += p.Cost
 	}
+	w.flushStats()
 	return cp
 }
 
-// depth returns the height of a group in the DAG (leaves are 0), used to
-// order materialization steps so dependencies are computed first.
-func (s *Searcher) depth(g memo.GroupID) int {
-	if s.depthCache == nil {
-		s.depthCache = map[memo.GroupID]int{}
-	}
-	if d, ok := s.depthCache[g]; ok {
-		return d
-	}
-	s.depthCache[g] = 0
-	d := 0
-	for _, e := range s.M.Group(g).Exprs {
-		for _, ch := range e.Children {
-			if cd := s.depth(ch) + 1; cd > d {
-				d = cd
-			}
-		}
-	}
-	s.depthCache[g] = d
-	return d
-}
-
 // extractUse mirrors useCost, returning the chosen plan.
-func (c *sctx) extractUse(g memo.GroupID, ord Order) *PlanNode {
-	compCost := c.compute(g, ord)
-	if c.mat[g] {
-		alt, needSort := c.matUseCost(g, ord)
+func (w *worker) extractUse(g memo.GroupID, ord ordID) *PlanNode {
+	s := w.s
+	compCost := w.compute(g, ord)
+	if w.matHas(g) {
+		alt := s.readArr[g]
+		needSort := !s.sat[w.stored(g)][ord]
+		if needSort {
+			alt += s.sortArr[g]
+		}
 		if alt < compCost {
 			node := &PlanNode{
 				Op:    OpNameMatScan,
 				Group: g,
-				Order: c.stored[g],
-				Rows:  c.s.M.Group(g).Props.Rows,
-				Cost:  c.s.matReadCost(g),
+				Order: s.orders[w.stored(g)],
+				Rows:  s.M.Group(g).Props.Rows,
+				Cost:  s.readArr[g],
 			}
 			if needSort {
 				node = &PlanNode{
 					Op:       OpNameSort,
 					Group:    g,
-					Order:    ord,
+					Order:    s.orders[ord],
 					Children: []*PlanNode{node},
 					Rows:     node.Rows,
 					Cost:     alt,
@@ -117,63 +104,66 @@ func (c *sctx) extractUse(g memo.GroupID, ord Order) *PlanNode {
 			return node
 		}
 	}
-	return c.extractCompute(g, ord)
+	return w.extractCompute(g, ord)
 }
 
 // extractCompute mirrors compute, returning the chosen plan.
-func (c *sctx) extractCompute(g memo.GroupID, ord Order) *PlanNode {
-	best := c.compute(g, ord)
-	for _, cand := range c.candidates(g, ord) {
+func (w *worker) extractCompute(g memo.GroupID, ord ordID) *PlanNode {
+	s := w.s
+	best := w.compute(g, ord)
+	for _, cand := range w.enumCandidates(g, ord) {
 		if cand.cost <= best+1e-9 {
-			return c.buildPlan(g, cand)
+			return w.buildPlan(g, cand)
 		}
 	}
 	// Enforcer: compute unordered, then sort.
-	if !ord.Empty() {
-		child := c.extractCompute(g, nil)
+	if ord != 0 {
+		child := w.extractCompute(g, 0)
 		return &PlanNode{
 			Op:       OpNameSort,
 			Group:    g,
-			Order:    ord,
+			Order:    s.orders[ord],
 			Children: []*PlanNode{child},
 			Rows:     child.Rows,
-			Cost:     child.Cost + c.s.sortCost(g),
+			Cost:     child.Cost + s.sortArr[g],
 		}
 	}
 	panic(fmt.Sprintf("physical: no plan for group %d (internal error)", g))
 }
 
-func (c *sctx) buildPlan(g memo.GroupID, cand candidate) *PlanNode {
-	grp := c.s.M.Group(g)
+func (w *worker) buildPlan(g memo.GroupID, cand candidate) *PlanNode {
+	s := w.s
+	grp := s.M.Group(g)
+	t := cand.t
 	node := &PlanNode{
-		Op:       cand.op,
+		Op:       t.op,
 		Group:    g,
-		Order:    cand.out,
+		Order:    s.orders[cand.out],
 		Rows:     grp.Props.Rows,
 		Cost:     cand.cost,
-		IndexCol: cand.indexCol,
+		IndexCol: t.indexCol,
 	}
-	e := cand.e
+	e := t.e
 	switch e.Kind {
 	case memo.OpScan:
 		node.Table = e.Table
 		node.Pred = e.Pred
 	case memo.OpFilter:
 		node.Pred = e.Pred
-		node.Children = []*PlanNode{c.extractUse(e.Children[0], cand.childOrds[0])}
+		node.Children = []*PlanNode{w.extractUse(e.Children[0], cand.childOrd[0])}
 	case memo.OpJoin:
 		node.Conds = e.Conds
 		first, second := e.Children[0], e.Children[1]
-		if cand.swap {
+		if t.swap {
 			first, second = second, first
 		}
 		node.Children = []*PlanNode{
-			c.extractUse(first, cand.childOrds[0]),
-			c.extractUse(second, cand.childOrds[1]),
+			w.extractUse(first, cand.childOrd[0]),
+			w.extractUse(second, cand.childOrd[1]),
 		}
 	case memo.OpAgg, memo.OpReAgg:
 		node.Spec = e.Spec
-		node.Children = []*PlanNode{c.extractUse(e.Children[0], cand.childOrds[0])}
+		node.Children = []*PlanNode{w.extractUse(e.Children[0], cand.childOrd[0])}
 	}
 	return node
 }

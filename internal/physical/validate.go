@@ -17,7 +17,7 @@ func (s *Searcher) ValidatePlan(cp *ConsolidatedPlan, mat NodeSet) error {
 	seen := map[memo.GroupID]bool{}
 	total := 0.0
 	for i, st := range cp.Steps {
-		if !mat[st.Group] {
+		if !mat.Has(st.Group) {
 			return fmt.Errorf("step %d materializes group %d not in S", i, st.Group)
 		}
 		if err := s.validateNode(st.Plan, seen); err != nil {
@@ -29,8 +29,8 @@ func (s *Searcher) ValidatePlan(cp *ConsolidatedPlan, mat NodeSet) error {
 		seen[st.Group] = true
 		total += st.Plan.Cost + st.WriteCost
 	}
-	if len(seen) != len(mat) {
-		return fmt.Errorf("plan materializes %d groups, S has %d", len(seen), len(mat))
+	if len(seen) != mat.Len() {
+		return fmt.Errorf("plan materializes %d groups, S has %d", len(seen), mat.Len())
 	}
 	for qi, q := range cp.Queries {
 		if err := s.validateNode(q, seen); err != nil {

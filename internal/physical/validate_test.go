@@ -11,10 +11,10 @@ func TestValidatePlanAcceptsExtractedPlans(t *testing.T) {
 	sh := s.M.Shareable()
 	r := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 25; trial++ {
-		set := NodeSet{}
+		set := s.NewNodeSet()
 		for _, id := range sh {
 			if r.Intn(2) == 0 {
-				set[id] = true
+				set.Add(id)
 			}
 		}
 		plan := s.BestPlan(set)
@@ -26,9 +26,9 @@ func TestValidatePlanAcceptsExtractedPlans(t *testing.T) {
 
 func TestValidatePlanCatchesTampering(t *testing.T) {
 	s := buildSearcher(t, sharedPairQueries()...)
-	set := NodeSet{}
+	set := s.NewNodeSet()
 	for _, id := range s.M.Shareable() {
-		set[id] = true
+		set.Add(id)
 		break
 	}
 	cases := []struct {
@@ -65,7 +65,7 @@ func TestValidatePlanCatchesTampering(t *testing.T) {
 func TestValidatePlanExtendedOps(t *testing.T) {
 	s := buildSearcher(t, sharedPairQueries()...)
 	s.ExtendedOps = true
-	set := NodeSet{}
+	set := s.NewNodeSet()
 	plan := s.BestPlan(set)
 	if err := s.ValidatePlan(plan, set); err != nil {
 		t.Fatalf("extended-ops plan rejected: %v", err)

@@ -36,12 +36,22 @@ func MarginalGreedy(d *Decomposition) Result {
 		}
 	}
 	res := Result{}
+	var sets []Set
 	for len(y) > 0 {
 		res.Iterations++
+		// Evaluate the marginal ratio of every remaining element in one
+		// batched (possibly concurrent) oracle call, then pick the winner
+		// with the same strict-> tie-break as a sequential scan.
+		sets = sets[:0]
+		for _, e := range y {
+			sets = append(sets, x.With(e))
+		}
+		vals := d.o.EvalBatch(sets)
+		cur := d.o.Eval(x)
 		bestE, bestR := -1, math.Inf(-1)
 		keep := y[:0]
-		for _, e := range y {
-			r := d.Ratio(e, x)
+		for i, e := range y {
+			r := d.RatioFrom(vals[i], cur, e)
 			if r < 1 {
 				res.Pruned++
 				continue // permanently pruned
@@ -73,11 +83,19 @@ func MarginalGreedy(d *Decomposition) Result {
 // whenever the assumption holds.
 func addFree(d *Decomposition, x Set, free []int) Set {
 	remaining := append([]int(nil), free...)
+	var sets []Set
 	for len(remaining) > 0 {
+		// f(X) is computed once per pass (not once per element) and the
+		// candidate gains are evaluated in one batched oracle call.
 		cur := d.o.Eval(x)
-		bestE, bestGain := -1, math.Inf(-1)
+		sets = sets[:0]
 		for _, e := range remaining {
-			if gain := d.o.Eval(x.With(e)) - cur; gain > bestGain {
+			sets = append(sets, x.With(e))
+		}
+		vals := d.o.EvalBatch(sets)
+		bestE, bestGain := -1, math.Inf(-1)
+		for i, e := range remaining {
+			if gain := vals[i] - cur; gain > bestGain {
 				bestGain, bestE = gain, e
 			}
 		}
@@ -173,11 +191,17 @@ func Greedy(o *Oracle) Result {
 		y[i] = i
 	}
 	res := Result{}
+	var sets []Set
 	for len(y) > 0 {
 		res.Iterations++
-		bestE, bestV := -1, math.Inf(-1)
+		sets = sets[:0]
 		for _, e := range y {
-			if v := o.Eval(x.With(e)); v > bestV {
+			sets = append(sets, x.With(e))
+		}
+		vals := o.EvalBatch(sets) // one batched (possibly concurrent) scan
+		bestE, bestV := -1, math.Inf(-1)
+		for i, e := range y {
+			if v := vals[i]; v > bestV {
 				bestV, bestE = v, e
 			}
 		}
@@ -288,12 +312,14 @@ func MarginalGreedyK(d *Decomposition, k int) Result {
 		y = remove(y, bestE)
 	}
 	sortByCost(free, d.C)
+	cur := d.o.Eval(x) // cached across the loop; updated only when x grows
 	for _, e := range free {
 		if len(x) >= k {
 			break
 		}
-		if d.o.Eval(x.With(e)) >= d.o.Eval(x) {
+		if v := d.o.Eval(x.With(e)); v >= cur {
 			x = x.With(e)
+			cur = v
 		}
 	}
 	res.Set = x
@@ -388,12 +414,14 @@ func MarginalGreedyKOn(d *Decomposition, k int, universe []int) Result {
 		y = remove(y, bestE)
 	}
 	sortByCost(free, d.C)
+	cur := d.o.Eval(x) // cached across the loop; updated only when x grows
 	for _, e := range free {
 		if len(x) >= k {
 			break
 		}
-		if d.o.Eval(x.With(e)) >= d.o.Eval(x) {
+		if v := d.o.Eval(x.With(e)); v >= cur {
 			x = x.With(e)
+			cur = v
 		}
 	}
 	res.Set = x

@@ -103,6 +103,16 @@ type Function interface {
 	Eval(s Set) float64
 }
 
+// BatchFunction is an optional Function extension: EvalBatch returns
+// f(S) for every set, and may evaluate them concurrently. Results must be
+// bit-identical to calling Eval on each set — implementations achieve this
+// by keeping every single evaluation sequential and only running distinct
+// evaluations in parallel.
+type BatchFunction interface {
+	Function
+	EvalBatch(sets []Set) []float64
+}
+
 // Oracle wraps a Function with memoization and an evaluation counter, so
 // algorithms can be compared by the number of (potentially expensive)
 // oracle calls — in MQO each call is one bestCost optimization.
@@ -130,6 +140,51 @@ func (o *Oracle) Eval(s Set) float64 {
 	return v
 }
 
+// EvalBatch returns f(S) for every set, memoized. Sets not in the memo are
+// evaluated together — concurrently when the underlying function supports
+// it — so one greedy round costs one batched oracle call. The results (and
+// the memo and call counter afterwards) are identical to evaluating each
+// set with Eval in order.
+func (o *Oracle) EvalBatch(sets []Set) []float64 {
+	out := make([]float64, len(sets))
+	keys := make([]uint64, len(sets))
+	var missIdx []int
+	seen := map[uint64]bool{}
+	for i, s := range sets {
+		k := s.Key()
+		keys[i] = k
+		if v, ok := o.memo[k]; ok {
+			out[i] = v
+		} else if !seen[k] {
+			seen[k] = true
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) > 0 {
+		if bf, ok := o.F.(BatchFunction); ok && len(missIdx) > 1 {
+			miss := make([]Set, len(missIdx))
+			for j, i := range missIdx {
+				miss[j] = sets[i]
+			}
+			vals := bf.EvalBatch(miss)
+			for j, i := range missIdx {
+				o.Calls++
+				o.memo[keys[i]] = vals[j]
+			}
+		} else {
+			for _, i := range missIdx {
+				o.Calls++
+				o.memo[keys[i]] = o.F.Eval(sets[i])
+			}
+		}
+		// Fill every position (duplicates included) from the memo.
+		for i := range sets {
+			out[i] = o.memo[keys[i]]
+		}
+	}
+	return out
+}
+
 // N returns the universe size.
 func (o *Oracle) N() int { return o.F.N() }
 
@@ -152,13 +207,19 @@ type Decomposition struct {
 
 // DecomposeStar computes the Proposition 1 decomposition:
 // c*(e) = f(U∖{e}) − f(U). It uses exactly n+1 oracle calls (for U and
-// each U∖{e}).
+// each U∖{e}); the n leave-one-out evaluations run as one batched —
+// possibly concurrent — oracle call.
 func DecomposeStar(o *Oracle) *Decomposition {
 	u := o.Universe()
 	fu := o.Eval(u)
+	sets := make([]Set, o.N())
+	for e := range sets {
+		sets[e] = u.Without(e)
+	}
+	vals := o.EvalBatch(sets)
 	c := make([]float64, o.N())
-	for e := 0; e < o.N(); e++ {
-		c[e] = o.Eval(u.Without(e)) - fu
+	for e := range c {
+		c[e] = vals[e] - fu
 	}
 	return &Decomposition{o: o, C: c}
 }
@@ -190,7 +251,14 @@ func (d *Decomposition) MarginalFM(e int, s Set) float64 {
 
 // Ratio returns f'_M(e, S) / c(e); callers must ensure c(e) > 0.
 func (d *Decomposition) Ratio(e int, s Set) float64 {
-	return d.MarginalFM(e, s) / d.C[e]
+	return d.RatioFrom(d.o.Eval(s.With(e)), d.o.Eval(s), e)
+}
+
+// RatioFrom is Ratio computed from already-evaluated f(S∪{e}) and f(S);
+// the batched greedy rounds use it so the sequential and batched paths
+// share one definition of the ratio.
+func (d *Decomposition) RatioFrom(fxe, fx float64, e int) float64 {
+	return (fxe - fx + d.C[e]) / d.C[e]
 }
 
 // Oracle returns the underlying oracle.

@@ -29,11 +29,23 @@ func NewOptimizer(cat *catalog.Catalog, model cost.Model, batch *logical.Batch, 
 	return &Optimizer{Memo: m, Searcher: physical.NewSearcher(m)}, nil
 }
 
+// NewNodeSet returns a materialization set over this optimizer's shareable
+// nodes containing the given groups.
+func (o *Optimizer) NewNodeSet(ids ...memo.GroupID) physical.NodeSet {
+	return o.Searcher.NewNodeSet(ids...)
+}
+
 // BestCost is bc(S): the cost of the optimal consolidated plan given that
 // exactly the nodes of S are materialized (including the cost of computing
 // and writing them).
 func (o *Optimizer) BestCost(s physical.NodeSet) float64 {
 	return o.Searcher.BestCost(s)
+}
+
+// BestCostBatch evaluates bc(S) for many sets concurrently; results are
+// bit-identical to sequential BestCost calls in input order.
+func (o *Optimizer) BestCostBatch(sets []physical.NodeSet) []float64 {
+	return o.Searcher.BestCostBatch(sets)
 }
 
 // BestUseCost is buc(S): the optimal plan cost when S is already

@@ -47,14 +47,14 @@ func TestSetIncrementalToggle(t *testing.T) {
 	if len(sh) == 0 {
 		t.Fatal("no shareable nodes")
 	}
-	warm := opt.BestCost(physical.NodeSet{sh[0]: true})
+	warm := opt.BestCost(opt.NewNodeSet(sh[0]))
 	opt.SetIncremental(false)
-	cold := opt.BestCost(physical.NodeSet{sh[0]: true})
+	cold := opt.BestCost(opt.NewNodeSet(sh[0]))
 	if warm != cold {
 		t.Errorf("incremental %v != cold %v", warm, cold)
 	}
 	opt.SetIncremental(true)
-	again := opt.BestCost(physical.NodeSet{sh[0]: true})
+	again := opt.BestCost(opt.NewNodeSet(sh[0]))
 	if again != warm {
 		t.Errorf("re-enabled %v != warm %v", again, warm)
 	}

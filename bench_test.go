@@ -11,6 +11,7 @@ import (
 	"repro/internal/submod"
 	"repro/internal/tpcd"
 	"repro/internal/volcano"
+	"repro/internal/workload"
 )
 
 // The benchmarks regenerate the measured quantity of every table/figure in
@@ -144,6 +145,72 @@ func BenchmarkDAGBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := volcano.NewOptimizer(cat, cost.Default(), batch); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// workloadSizes and workloadSharings define the BenchmarkWorkload grid:
+// sub-benchmarks are named {size}x{sharing}. The 256-query points are the
+// stress tier and are skipped under -short.
+var (
+	workloadSizes    = []int{16, 64, 256}
+	workloadSharings = []float64{0.25, 0.75}
+)
+
+// BenchmarkWorkload stress-tests the full pipeline — DAG build plus
+// MarginalGreedy — on generated batches far beyond BQ6, with allocation
+// reporting, so BENCH_*.json charts where the next bottleneck appears as
+// batches grow. (Measured on the probe run for this grid: DAG build stays
+// sub-second at 256 queries while optimization grows superlinearly with the
+// shareable universe — the greedy scan volume, not DAG build, dominates.)
+func BenchmarkWorkload(b *testing.B) {
+	cat := tpcd.Catalog(1)
+	for _, size := range workloadSizes {
+		for _, sharing := range workloadSharings {
+			b.Run(fmt.Sprintf("%dx%g", size, sharing), func(b *testing.B) {
+				if size > 64 && testing.Short() {
+					b.Skipf("skipping the %d-query stress tier in -short mode", size)
+				}
+				batch := workload.MustGenerate(workload.DefaultSpec(size, sharing))
+				var res core.Result
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res = core.Run(opt, core.MarginalGreedy)
+				}
+				b.StopTimer()
+				b.ReportMetric(res.Cost/1000, "cost_s")
+				b.ReportMetric(float64(len(res.Materialized)), "materialized")
+				b.ReportMetric(float64(res.OracleCalls), "bc_calls")
+			})
+		}
+	}
+}
+
+// BenchmarkWorkloadDAGBuild isolates combined-DAG construction and
+// expansion for the generated batches — the component the stress grid
+// tracks separately from optimization.
+func BenchmarkWorkloadDAGBuild(b *testing.B) {
+	cat := tpcd.Catalog(1)
+	for _, size := range workloadSizes {
+		for _, sharing := range workloadSharings {
+			b.Run(fmt.Sprintf("%dx%g", size, sharing), func(b *testing.B) {
+				if size > 64 && testing.Short() {
+					b.Skipf("skipping the %d-query stress tier in -short mode", size)
+				}
+				batch := workload.MustGenerate(workload.DefaultSpec(size, sharing))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := volcano.NewOptimizer(cat, cost.Default(), batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,11 +1,18 @@
 // Command experiments regenerates the paper's evaluation tables: Example 1
 // (Figure 1), the batched TPCD workloads (Figures 4a–4c), the stand-alone
 // TPCD queries (Figures 5a–5c), the Theorem 1 approximation-bound
-// validation, and the Section 5 ablations.
+// validation, and the Section 5 ablations. It also drives the synthetic
+// workload generator (internal/workload) for stress runs beyond BQ6.
 //
 // Usage:
 //
-//	experiments [-run all|example1|exp1|exp2|bound|ablation|memory|cardinality]
+//	experiments [-run all|example1|exp1|exp2|bound|ablation|memory|operators|baselines|cardinality|workload|workload-sweep]
+//
+// The workload modes compare MQO strategies on generated batches; their
+// shape is controlled by the -wl-* flags:
+//
+//	experiments -run workload -wl-queries 64 -wl-sharing 0.75 -wl-shape star
+//	experiments -run workload-sweep
 package main
 
 import (
@@ -15,11 +22,20 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "which experiment to run: all, example1, exp1, exp2, bound, ablation")
+	run := flag.String("run", "all", "which experiment to run: all, example1, exp1, exp2, bound, ablation, memory, operators, baselines, cardinality, workload, workload-sweep")
+	wlQueries := flag.Int("wl-queries", 32, "workload: number of generated queries per batch")
+	wlSharing := flag.Float64("wl-sharing", 0.75, "workload: sharing coefficient in [0,1]")
+	wlShape := flag.String("wl-shape", "mixed", "workload: join shape (star, chain, snowflake, mixed)")
+	wlFanOut := flag.Int("wl-fanout", 4, "workload: relations joined per query")
+	wlSeed := flag.Int64("wl-seed", 1, "workload: generator seed")
+	wlSelect := flag.Float64("wl-select", 0.8, "workload: fraction of scans with a selection predicate")
+	wlAgg := flag.Float64("wl-agg", 0.5, "workload: fraction of queries with an aggregation")
+	wlSF := flag.Float64("wl-sf", 1, "workload: TPCD scale factor")
 	flag.Parse()
 
 	want := func(name string) bool { return *run == "all" || *run == name }
@@ -28,6 +44,21 @@ func main() {
 			log.Fatalf("experiments: %v", err)
 		}
 		fmt.Println(t.String())
+	}
+	wlSpec := func() workload.Spec {
+		shape, err := workload.ParseShape(*wlShape)
+		if err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+		return workload.Spec{
+			Seed:       *wlSeed,
+			Queries:    *wlQueries,
+			Shape:      shape,
+			FanOut:     *wlFanOut,
+			Sharing:    *wlSharing,
+			SelectFrac: *wlSelect,
+			AggFrac:    *wlAgg,
+		}
 	}
 
 	if want("example1") {
@@ -64,9 +95,17 @@ func main() {
 	if want("cardinality") {
 		emit(experiments.CardinalityConstraint())
 	}
+	if want("workload") {
+		emit(experiments.Workload(wlSpec(), *wlSF))
+	}
+	// The sweep is not part of -run all: it optimizes a grid of batches and
+	// takes minutes at the larger sizes.
+	if *run == "workload-sweep" {
+		emit(experiments.WorkloadSweep(wlSpec(), *wlSF, []int{16, 32, 64}, []float64{0.25, 0.75}))
+	}
 	if *run != "all" {
 		switch *run {
-		case "example1", "exp1", "exp2", "bound", "ablation", "memory", "operators", "baselines", "cardinality":
+		case "example1", "exp1", "exp2", "bound", "ablation", "memory", "operators", "baselines", "cardinality", "workload", "workload-sweep":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 			os.Exit(2)

@@ -2,9 +2,11 @@ package repro_test
 
 import (
 	"fmt"
+	"strings"
 
 	"repro"
 	"repro/internal/tpcd"
+	"repro/internal/workload"
 )
 
 // ExampleOptimize optimizes the paper's Example 1 batch: two queries
@@ -25,4 +27,38 @@ func ExampleOptimize() {
 	// stand-alone Volcano: 45 s
 	// MarginalGreedy:      28 s, 2 shared node(s) materialized
 	// consolidated plan beats locally optimal plans: true
+}
+
+// Example_generateWorkload generates a synthetic batch with the seeded
+// workload generator: the same Spec always produces a byte-identical batch,
+// so stress workloads are reproducible across machines and runs.
+func Example_generateWorkload() {
+	spec := workload.Spec{
+		Seed:       42,
+		Queries:    8,
+		Shape:      workload.Star,
+		FanOut:     4,
+		Sharing:    0.75,
+		SelectFrac: 0.8,
+		AggFrac:    0.5,
+	}
+	batch := workload.MustGenerate(spec)
+
+	names := make([]string, len(batch.Queries))
+	aggregated := 0
+	for i, q := range batch.Queries {
+		names[i] = q.Name
+		if q.Root.Agg != nil {
+			aggregated++
+		}
+	}
+	fmt.Printf("queries: %s …\n", strings.Join(names[:3], ", "))
+	fmt.Printf("relations per query: %d, aggregated queries: %d/%d\n",
+		len(batch.Queries[0].Root.Sources), aggregated, len(batch.Queries))
+	fmt.Printf("same seed, same batch: %v\n",
+		workload.Fingerprint(batch) == workload.Fingerprint(workload.MustGenerate(spec)))
+	// Output:
+	// queries: W000-star, W001-star, W002-star …
+	// relations per query: 4, aggregated queries: 3/8
+	// same seed, same batch: true
 }

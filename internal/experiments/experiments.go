@@ -13,6 +13,16 @@
 //   - Section 5 ablations: lazy vs eager MarginalGreedy and the
 //     incremental bestCost cache.
 //
+// Past the paper's 12-query maximum (BQ6), the synthetic-workload modes
+// (workload.go) run the strategy lineage over generated batches of
+// dozens-to-hundreds of queries: Workload compares all seven strategies on
+// one generated batch (DAG-build time, optimization time, and cost vs
+// no-MQO), and WorkloadSweep charts MarginalGreedy's scaling over a
+// {batch size} × {sharing coefficient} grid. The generator's knobs — seed,
+// query count, join shape and fan-out, selection/aggregation mix, sharing
+// coefficient — are documented on workload.Spec; cmd/experiments exposes
+// them as the -wl-* flags.
+//
 // Each experiment returns a Table that renders in the same row/series
 // structure the paper reports, so EXPERIMENTS.md can be regenerated
 // mechanically.

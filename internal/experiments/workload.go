@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/tpcd"
+	"repro/internal/volcano"
+	"repro/internal/workload"
+)
+
+// WorkloadStrategies are the seven MQO strategies the synthetic-workload
+// mode compares (Exhaustive is excluded: generated universes are far beyond
+// its ≤20-node limit).
+var WorkloadStrategies = []core.Strategy{
+	core.Volcano, core.VolcanoSH, core.MaterializeAll,
+	core.Greedy, core.LazyGreedyStrategy,
+	core.MarginalGreedy, core.LazyMarginalGreedy,
+}
+
+// Workload runs all seven strategies over one generated batch and reports,
+// per strategy, the DAG-build time, the optimization time, and the plan
+// cost against the no-MQO (stand-alone Volcano) baseline.
+func Workload(spec workload.Spec, sf float64) (*Table, error) {
+	batch, err := workload.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Synthetic workload: %d %s queries, fan-out %d, sharing %.2f, SF %g (seed %d)",
+			spec.Queries, spec.Shape, spec.FanOut, spec.Sharing, sf, spec.Seed),
+		Columns: []string{"Strategy", "DAG build (ms)", "Opt time (ms)", "Cost (s)", "#mat", "Gain vs no-MQO"},
+	}
+	cat := tpcd.Catalog(sf)
+	var groups, shareable int
+	for _, s := range WorkloadStrategies {
+		start := time.Now()
+		// A fresh optimizer per strategy so DAG-build and optimization
+		// times are measured cold, not flattered by warm caches.
+		opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+		if err != nil {
+			return nil, err
+		}
+		build := time.Since(start)
+		r := core.Run(opt, s)
+		groups, shareable = opt.Memo.NumGroups(), len(opt.Shareable())
+		t.Rows = append(t.Rows, []string{
+			s.String(),
+			fmt.Sprintf("%.1f", ms(build)),
+			fmt.Sprintf("%.1f", ms(r.OptTime)),
+			seconds(r.Cost),
+			fmt.Sprintf("%d", len(r.Materialized)),
+			// Every Result carries bc(∅), so the gain column does not
+			// depend on Volcano's position in the strategy list.
+			gain(r.VolcanoCost, r.Cost),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"Combined DAG: %d groups, %d shareable nodes. Gain is the cost reduction relative to the "+
+			"stand-alone Volcano plans (no multi-query optimization).", groups, shareable))
+	return t, nil
+}
+
+// WorkloadSweep charts the perf trajectory of MarginalGreedy over a grid of
+// batch sizes and sharing coefficients — the scaling series the stress
+// benchmarks (BenchmarkWorkload) track release over release.
+func WorkloadSweep(base workload.Spec, sf float64, sizes []int, sharings []float64) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Workload sweep: MarginalGreedy over generated %s batches (fan-out %d, SF %g)",
+			base.Shape, base.FanOut, sf),
+		Columns: []string{"Batch", "Groups", "Shareable", "DAG build (ms)", "Opt time (ms)", "bc-calls", "#mat", "Gain vs no-MQO"},
+	}
+	cat := tpcd.Catalog(sf)
+	for _, n := range sizes {
+		for _, sh := range sharings {
+			spec := base
+			spec.Queries = n
+			spec.Sharing = sh
+			batch, err := workload.Generate(spec)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+			if err != nil {
+				return nil, err
+			}
+			build := time.Since(start)
+			r := core.Run(opt, core.MarginalGreedy)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%dx%g", n, sh),
+				fmt.Sprintf("%d", opt.Memo.NumGroups()),
+				fmt.Sprintf("%d", len(opt.Shareable())),
+				fmt.Sprintf("%.1f", ms(build)),
+				fmt.Sprintf("%.1f", ms(r.OptTime)),
+				fmt.Sprintf("%d", r.OracleCalls),
+				fmt.Sprintf("%d", len(r.Materialized)),
+				gain(r.VolcanoCost, r.Cost),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Rows are {queries}x{sharing coefficient}. Optimization time grows superlinearly with the "+
+			"shareable universe (one greedy round scans every candidate), while DAG build stays near-linear "+
+			"in the batch size — the optimizer-side scan volume, not DAG build, is the scaling bottleneck.")
+	return t, nil
+}

@@ -202,8 +202,15 @@ type Searcher struct {
 	// Like ExtendedOps, toggling it requires a ClearCache call.
 	MatOrders bool
 
-	// Parallelism bounds the worker count of BestCostBatch; 0 means
-	// GOMAXPROCS.
+	// Parallelism bounds the number of workers BestCostBatch fans a batch
+	// of candidate sets out to; 0 (the default) means GOMAXPROCS and 1
+	// forces sequential evaluation on worker 0. Each worker carries its
+	// own scratch tables and cross-call cache, and every individual bc(S)
+	// evaluation stays sequential, so results are bit-identical for every
+	// setting — the knob trades memory (one scratch context per worker)
+	// and warm-up (per-worker caches learn separately) against wall-clock
+	// time on the batched greedy rounds. Set it before optimization
+	// starts; it must not change during a concurrent batch.
 	Parallelism int
 
 	// Compiled structures, immutable after NewSearcher.
@@ -577,11 +584,7 @@ func (w *worker) useCost(g memo.GroupID, ord ordID) float64 {
 	}
 	v := w.compute(g, ord)
 	if w.matHas(g) {
-		alt := s.readArr[g]
-		if !s.sat[w.stored(g)][ord] {
-			alt += s.sortArr[g] // re-sort the materialized copy
-		}
-		if alt < v {
+		if alt, _ := w.matUseCost(g, ord); alt < v {
 			v = alt
 		}
 	}
@@ -591,6 +594,21 @@ func (w *worker) useCost(g memo.GroupID, ord ordID) float64 {
 		w.cache[ck] = v
 	}
 	return v
+}
+
+// matUseCost prices reading the group's materialized copy under the
+// required order: the materialize-read cost plus, when the stored order
+// does not satisfy the requirement, a re-sort. It is the single pricing
+// rule shared by the cost search (useCost) and plan extraction
+// (extractUse); callers must have checked matHas(g).
+func (w *worker) matUseCost(g memo.GroupID, ord ordID) (cost float64, needSort bool) {
+	s := w.s
+	cost = s.readArr[g]
+	needSort = !s.sat[w.stored(g)][ord]
+	if needSort {
+		cost += s.sortArr[g] // re-sort the materialized copy
+	}
+	return cost, needSort
 }
 
 // compute returns the cheapest plan that computes the group from its

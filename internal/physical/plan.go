@@ -78,11 +78,7 @@ func (w *worker) extractUse(g memo.GroupID, ord ordID) *PlanNode {
 	s := w.s
 	compCost := w.compute(g, ord)
 	if w.matHas(g) {
-		alt := s.readArr[g]
-		needSort := !s.sat[w.stored(g)][ord]
-		if needSort {
-			alt += s.sortArr[g]
-		}
+		alt, needSort := w.matUseCost(g, ord)
 		if alt < compCost {
 			node := &PlanNode{
 				Op:    OpNameMatScan,

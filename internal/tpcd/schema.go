@@ -5,6 +5,12 @@
 // analogues of the queries the paper uses (Q2, Q2-D, Q3, Q5, Q7, Q8, Q9,
 // Q10, Q11, Q15), and the batched composites BQ1–BQ6 (each of
 // Q3/Q5/Q7/Q8/Q9/Q10 repeated twice with a different selection constant).
+//
+// Beyond the paper's fixed workloads, the package exports the schema-shape
+// metadata that the synthetic workload generator (internal/workload) builds
+// arbitrary-size batches from: the foreign-key join graph (JoinEdges,
+// EdgeBetween) and per-table filterable columns with their value ranges
+// (FilterColumns). See schemainfo.go.
 package tpcd
 
 import "repro/internal/catalog"

@@ -15,9 +15,10 @@
 //	internal/submod      generic UNSM: decomposition, MarginalGreedy, bounds
 //	internal/core        the MQO strategies of the paper's experiments
 //	internal/tpcd        the TPCD workload (schema, queries, batches)
+//	internal/workload    seeded synthetic workload generator (stress batches)
 //	internal/exec        iterator-model executor over synthetic data
 //	internal/parser      a small SQL-like language for the CLI
-//	internal/experiments the paper's tables and figures
+//	internal/experiments the paper's tables and figures, workload stress modes
 //
 // Quick start:
 //

@@ -277,3 +277,24 @@ func BenchmarkOracleParallel(b *testing.B) {
 		opt.BestCostBatch(sets)
 	}
 }
+
+// BenchmarkBestPlan measures consolidated-plan extraction with allocation
+// reporting. Extraction now prices candidates directly over the compiled
+// templates (the same bitset fast path the cost search uses), so the only
+// allocations left are the PlanNodes of the returned tree — the
+// ExtractCalls telemetry in Result counts the resolutions honestly.
+func BenchmarkBestPlan(b *testing.B) {
+	cat := tpcd.Catalog(1)
+	opt, err := volcano.NewOptimizer(cat, cost.Default(), tpcd.BQ(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := core.Run(opt, core.MarginalGreedy)
+	mat := res.MatSet()
+	opt.Plan(mat) // warm the scratch tables and cross-call cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Plan(mat)
+	}
+}

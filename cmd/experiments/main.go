@@ -9,18 +9,23 @@
 //	experiments [-run all|example1|exp1|exp2|bound|ablation|memory|operators|baselines|cardinality|workload|workload-sweep]
 //
 // The workload modes compare MQO strategies on generated batches; their
-// shape is controlled by the -wl-* flags:
+// shape is controlled by the -wl-* flags, and the session-style budgets by
+// -wl-time-budget / -wl-call-budget (a budgeted run degrades to its
+// best-so-far materialization set and reports why it stopped):
 //
 //	experiments -run workload -wl-queries 64 -wl-sharing 0.75 -wl-shape star
-//	experiments -run workload-sweep
+//	experiments -run workload -wl-queries 256 -wl-time-budget 2s
+//	experiments -run workload-sweep -wl-call-budget 2000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/workload"
 )
@@ -36,7 +41,19 @@ func main() {
 	wlSelect := flag.Float64("wl-select", 0.8, "workload: fraction of scans with a selection predicate")
 	wlAgg := flag.Float64("wl-agg", 0.5, "workload: fraction of queries with an aggregation")
 	wlSF := flag.Float64("wl-sf", 1, "workload: TPCD scale factor")
+	wlTimeBudget := flag.Duration("wl-time-budget", 0, "workload: wall-clock budget per optimization run (0 = none)")
+	wlCallBudget := flag.Int("wl-call-budget", -1, "workload: oracle-call budget per optimization run (-1 = none)")
+	wlParallel := flag.Int("wl-parallel", 0, "workload: oracle worker-pool bound (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	ctx := context.Background()
+	wlConfig := func() core.Config {
+		cfg := core.Config{TimeBudget: *wlTimeBudget, Parallelism: *wlParallel}
+		if *wlCallBudget >= 0 {
+			cfg = cfg.LimitOracleCalls(*wlCallBudget)
+		}
+		return cfg
+	}
 
 	want := func(name string) bool { return *run == "all" || *run == name }
 	emit := func(t *experiments.Table, err error) {
@@ -96,12 +113,12 @@ func main() {
 		emit(experiments.CardinalityConstraint())
 	}
 	if want("workload") {
-		emit(experiments.Workload(wlSpec(), *wlSF))
+		emit(experiments.Workload(ctx, wlSpec(), *wlSF, wlConfig()))
 	}
 	// The sweep is not part of -run all: it optimizes a grid of batches and
-	// takes minutes at the larger sizes.
+	// takes minutes at the larger sizes (unless bounded by -wl-time-budget).
 	if *run == "workload-sweep" {
-		emit(experiments.WorkloadSweep(wlSpec(), *wlSF, []int{16, 32, 64}, []float64{0.25, 0.75}))
+		emit(experiments.WorkloadSweep(ctx, wlSpec(), *wlSF, []int{16, 32, 64}, []float64{0.25, 0.75}, wlConfig()))
 	}
 	if *run != "all" {
 		switch *run {

@@ -1,13 +1,36 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro"
+	"repro/internal/cost"
 	"repro/internal/tpcd"
 	"repro/internal/workload"
 )
+
+// ExampleSession optimizes the paper's Example 1 batch through a
+// long-lived Session: the normal call materializes the shared
+// subexpressions, and a zero oracle-call budget degrades deterministically
+// to the empty set with the stop reason in the telemetry.
+func ExampleSession() {
+	cat, batch := tpcd.ExampleOneInstance()
+	sess, _ := repro.NewSession(cat, cost.Default())
+	ctx := context.Background()
+
+	res, _ := sess.Optimize(ctx, batch, repro.WithStrategy(repro.MarginalGreedy))
+	fmt.Printf("MarginalGreedy: %.0f s, %d shared node(s), stopped: %v\n",
+		res.Cost/1000, len(res.Plan.Steps), res.Telemetry.Stopped)
+
+	zero, _ := sess.Optimize(ctx, batch, repro.WithOracleCallBudget(0))
+	fmt.Printf("zero budget:    %.0f s, %d shared node(s), stopped: %v\n",
+		zero.Cost/1000, len(zero.Plan.Steps), zero.Telemetry.Stopped)
+	// Output:
+	// MarginalGreedy: 28 s, 2 shared node(s), stopped: none
+	// zero budget:    45 s, 0 shared node(s), stopped: call-budget
+}
 
 // ExampleOptimize optimizes the paper's Example 1 batch: two queries
 // sharing the subexpression σ(B)⋈C, which the MQO strategies materialize

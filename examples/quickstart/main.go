@@ -1,22 +1,30 @@
 // Quickstart: the paper's Example 1. Two queries, (A⋈σB⋈C) and (σB⋈C⋈D),
-// are optimized together; the common subexpression σ(B)⋈C is materialized
-// once and reused, making the consolidated plan cheaper than the two
-// locally optimal plans produced by a conventional optimizer.
+// are optimized together through a long-lived Session; the common
+// subexpression σ(B)⋈C is materialized once and reused, making the
+// consolidated plan cheaper than the two locally optimal plans produced by
+// a conventional optimizer.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro"
+	"repro/internal/cost"
 	"repro/internal/tpcd"
 )
 
 func main() {
 	cat, batch := tpcd.ExampleOneInstance()
+	sess, err := repro.NewSession(cat, cost.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	for _, strategy := range []repro.Strategy{repro.Volcano, repro.Greedy, repro.MarginalGreedy} {
-		res, plan, err := repro.Optimize(cat, batch, strategy)
+		res, err := sess.Optimize(ctx, batch, repro.WithStrategy(strategy))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -24,7 +32,10 @@ func main() {
 			strategy, res.Cost/1000, len(res.Materialized), res.Benefit/1000)
 		if strategy == repro.MarginalGreedy {
 			fmt.Println()
-			fmt.Println(plan.String())
+			fmt.Println(res.Plan.String())
 		}
 	}
+	st := sess.Stats()
+	fmt.Printf("session: %d batches optimized, %d oracle calls, %d bestCost evaluations\n",
+		st.Batches, st.OracleCalls, st.BCCalls)
 }

@@ -4,38 +4,42 @@
 // referenced twice, and Q2's nested minimum-cost subquery shares a
 // four-way join with its outer block; a conventional optimizer cannot
 // exploit either, while the MQO strategies materialize the shared slice.
+// One Session serves every query — the streaming shape of a production
+// optimizer service.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/cost"
 	"repro/internal/logical"
 	"repro/internal/tpcd"
-	"repro/internal/volcano"
 )
 
 func main() {
-	cat := tpcd.Catalog(1)
+	sess, err := repro.NewSession(tpcd.Catalog(1), cost.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 	for _, q := range []*logical.Query{tpcd.Q15(), tpcd.Q11(), tpcd.Q2()} {
 		batch := &logical.Batch{}
 		batch.Add(q)
 		fmt.Printf("== %s ==\n", q.Name)
-		for _, s := range []core.Strategy{core.Volcano, core.MarginalGreedy} {
-			opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+		for _, s := range []repro.Strategy{repro.Volcano, repro.MarginalGreedy} {
+			r, err := sess.Optimize(ctx, batch, repro.WithStrategy(s))
 			if err != nil {
 				log.Fatal(err)
 			}
-			r := core.Run(opt, s)
 			fmt.Printf("  %-15s cost %7.0f s   materialized %d\n", s, r.Cost/1000, len(r.Materialized))
-			if s == core.MarginalGreedy && len(r.Materialized) > 0 {
-				plan := opt.Plan(r.MatSet())
+			if s == repro.MarginalGreedy && len(r.Plan.Steps) > 0 {
 				fmt.Printf("  shared nodes computed once:\n")
-				for _, st := range plan.Steps {
-					g := opt.Memo.Group(st.Group)
-					fmt.Printf("    group %d (%s), ~%.0f rows\n", st.Group, g.Sig, g.Props.Rows)
+				for _, st := range r.Plan.Steps {
+					fmt.Printf("    group %d, ~%.0f rows (write %.0f ms)\n",
+						st.Group, st.Plan.Rows, st.WriteCost)
 				}
 			}
 		}

@@ -36,7 +36,7 @@ func main() {
 	eager := submod.MarginalGreedy(submod.DecomposeStar(o1))
 	o2 := submod.NewOracle(p)
 	lazy := submod.LazyMarginalGreedy(submod.DecomposeStar(o2))
-	fmt.Printf("  eager: f=%.4f with %d sets, %d oracle calls\n", eager.Value, len(eager.Set), o1.Calls)
-	fmt.Printf("  lazy:  f=%.4f with %d sets, %d oracle calls\n", lazy.Value, len(lazy.Set), o2.Calls)
+	fmt.Printf("  eager: f=%.4f with %d sets, %d oracle calls\n", eager.Value, eager.Set.Len(), o1.Calls)
+	fmt.Printf("  lazy:  f=%.4f with %d sets, %d oracle calls\n", lazy.Value, lazy.Set.Len(), o2.Calls)
 	fmt.Printf("  same answer: %v\n", eager.Set.Equal(lazy.Set))
 }

@@ -6,10 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro"
+	"repro/internal/cost"
 	"repro/internal/tpcd"
 	"repro/internal/workload"
 )
@@ -35,16 +37,20 @@ func main() {
 	again := workload.MustGenerate(spec)
 	fmt.Printf("deterministic: %v\n", workload.Fingerprint(batch) == workload.Fingerprint(again))
 
-	cat := tpcd.Catalog(1)
-	noMQO, _, err := repro.Optimize(cat, batch, repro.Volcano)
+	sess, err := repro.NewSession(tpcd.Catalog(1), cost.Default())
 	if err != nil {
 		log.Fatal(err)
 	}
-	marginal, plan, err := repro.Optimize(cat, batch, repro.MarginalGreedy)
+	ctx := context.Background()
+	noMQO, err := sess.Optimize(ctx, batch, repro.WithStrategy(repro.Volcano))
+	if err != nil {
+		log.Fatal(err)
+	}
+	marginal, err := sess.Optimize(ctx, batch, repro.WithStrategy(repro.MarginalGreedy))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("no-MQO cost:          %8.0f s\n", noMQO.Cost/1000)
 	fmt.Printf("MarginalGreedy cost:  %8.0f s  (%d subexpressions materialized, %.0f%% cheaper)\n",
-		marginal.Cost/1000, len(plan.Steps), marginal.Benefit/noMQO.Cost*100)
+		marginal.Cost/1000, len(marginal.Plan.Steps), marginal.Benefit/noMQO.Cost*100)
 }

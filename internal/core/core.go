@@ -6,9 +6,16 @@
 // al., the paper's MarginalGreedy (with its Lazy variant), plus a
 // materialize-everything baseline and an exhaustive optimizer for small
 // instances.
+//
+// RunWith is the context-aware entry point: it accepts a Config carrying a
+// wall-clock budget, an oracle-call budget and a progress callback, checks
+// them between greedy rounds, and reports per-phase telemetry in the
+// Result. Run is the budget-free shim the original one-shot API used;
+// both produce bit-identical materialization sets when no budget fires.
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,6 +84,65 @@ func (s Strategy) String() string {
 	}
 }
 
+// Config bounds and instruments one optimization run. The zero value means
+// "no budgets, no callbacks" — exactly the behavior of the original
+// one-shot API.
+type Config struct {
+	// TimeBudget caps the wall-clock time of the run (0 = none). It is
+	// enforced as a context deadline: the greedy loop stops between oracle
+	// rounds, and a concurrent bestCost batch already in flight stops
+	// between individual evaluations.
+	TimeBudget time.Duration
+	// Progress, when non-nil, receives a report after every completed
+	// greedy round. It runs on the optimizing goroutine, so cancelling the
+	// run's context from inside it stops the run at a deterministic round.
+	Progress func(submod.Progress)
+	// Parallelism, when > 0, sets the searcher's worker-pool bound before
+	// the run (see physical.Searcher.Parallelism).
+	Parallelism int
+
+	maxCalls    int
+	hasMaxCalls bool
+}
+
+// LimitOracleCalls returns a copy of the config with an oracle-call budget
+// of n memoized-distinct mb(S) evaluations; n = 0 forbids the algorithm
+// any oracle call, so the strategies return the empty set. The unexported
+// carrier keeps the zero-value Config unlimited.
+func (c Config) LimitOracleCalls(n int) Config {
+	if n < 0 {
+		n = 0
+	}
+	c.maxCalls, c.hasMaxCalls = n, true
+	return c
+}
+
+// OracleCallLimit reports the configured budget (and whether one is set).
+func (c Config) OracleCallLimit() (int, bool) { return c.maxCalls, c.hasMaxCalls }
+
+// Telemetry reports how a run spent its budget, phase by phase.
+type Telemetry struct {
+	OracleCalls  int     // memoized-distinct mb(S) evaluations
+	BCCalls      int     // bestCost invocations during the run
+	CacheHits    int     // cross-call cache hits during the run
+	ComputedKeys int     // fresh (group, order, mask) computations
+	CacheHitRate float64 // CacheHits / (CacheHits + ComputedKeys)
+	Rounds       int     // completed greedy rounds (selections for lazy)
+	Pruned       int     // Section 5.1 permanent prunes
+	// Stopped records why the run ended early; StopNone for a complete
+	// run. A stopped run's materialization set is the deterministic
+	// best-so-far selection of the completed rounds.
+	Stopped submod.StopReason
+	// SetupTime covers bc(∅) and, for the marginal strategies, the
+	// Proposition 1 decomposition; SearchTime the greedy rounds;
+	// FinalizeTime the pricing of the chosen set. They sum to TotalTime up
+	// to bookkeeping noise.
+	SetupTime    time.Duration
+	SearchTime   time.Duration
+	FinalizeTime time.Duration
+	TotalTime    time.Duration
+}
+
 // Result is the outcome of one MQO run.
 type Result struct {
 	Strategy     Strategy
@@ -86,29 +152,43 @@ type Result struct {
 	VolcanoCost  float64          // bc(∅), milliseconds
 	Benefit      float64          // mb(S)
 	OptTime      time.Duration
-	OracleCalls  int // memoized-distinct bestCost evaluations
+	OracleCalls  int       // memoized-distinct bestCost evaluations
+	Telemetry    Telemetry // per-phase accounting and stop reason
 }
 
 // MatSet returns the chosen materialization set.
 func (r Result) MatSet() physical.NodeSet { return r.Set }
 
+// Stopped reports why the run ended early (submod.StopNone for a complete
+// run).
+func (r Result) Stopped() submod.StopReason { return r.Telemetry.Stopped }
+
 // BenefitFunc adapts mb(S) over the optimizer's shareable nodes to the
 // submod.Function interface; element i corresponds to Nodes[i]. It also
 // implements submod.BatchFunction: a batch of candidate sets is evaluated
 // concurrently on the searcher's worker pool, with results bit-identical
-// to sequential evaluation.
+// to sequential evaluation. An attached context (NewBenefitFuncCtx) aborts
+// in-flight batches between individual evaluations when cancelled.
 type BenefitFunc struct {
 	Opt   *volcano.Optimizer
 	Nodes []memo.GroupID
 	base  float64
+	ctx   context.Context
 }
 
 // NewBenefitFunc builds the benefit function (one bc(∅) evaluation).
 func NewBenefitFunc(opt *volcano.Optimizer) *BenefitFunc {
+	return NewBenefitFuncCtx(nil, opt)
+}
+
+// NewBenefitFuncCtx is NewBenefitFunc with a context that cancels batched
+// evaluations between individual bc(S) calls.
+func NewBenefitFuncCtx(ctx context.Context, opt *volcano.Optimizer) *BenefitFunc {
 	return &BenefitFunc{
 		Opt:   opt,
 		Nodes: opt.Shareable(),
 		base:  opt.BestCost(physical.NodeSet{}),
+		ctx:   ctx,
 	}
 }
 
@@ -121,9 +201,7 @@ func (f *BenefitFunc) Base() float64 { return f.base }
 // toNodeSet converts an element set to a materialization bitset.
 func (f *BenefitFunc) toNodeSet(s submod.Set) physical.NodeSet {
 	ns := f.Opt.NewNodeSet()
-	for e := range s {
-		ns.Add(f.Nodes[e])
-	}
+	s.ForEach(func(e int) { ns.Add(f.Nodes[e]) })
 	return ns
 }
 
@@ -133,71 +211,134 @@ func (f *BenefitFunc) Eval(s submod.Set) float64 {
 }
 
 // EvalBatch returns mb(S) for every set, evaluating the underlying
-// bestCost oracle calls concurrently (one per worker context).
-func (f *BenefitFunc) EvalBatch(sets []submod.Set) []float64 {
+// bestCost oracle calls concurrently (one per worker context). When the
+// attached context is cancelled mid-batch it reports ok=false and the
+// partial results must be discarded.
+func (f *BenefitFunc) EvalBatch(sets []submod.Set) ([]float64, bool) {
 	mats := make([]physical.NodeSet, len(sets))
 	for i, s := range sets {
 		mats[i] = f.toNodeSet(s)
 	}
-	costs := f.Opt.Searcher.BestCostBatch(mats)
+	costs, ok := f.Opt.Searcher.BestCostBatchCtx(f.ctx, mats)
+	if !ok {
+		return nil, false
+	}
 	out := make([]float64, len(sets))
 	for i, c := range costs {
 		out[i] = f.base - c
 	}
-	return out
+	return out, true
 }
 
 // ToNodes converts an element set to group ids (sorted by element index).
 func (f *BenefitFunc) ToNodes(s submod.Set) []memo.GroupID {
 	var out []memo.GroupID
-	for _, e := range s.Sorted() {
-		out = append(out, f.Nodes[e])
-	}
+	s.ForEach(func(e int) { out = append(out, f.Nodes[e]) })
 	return out
 }
 
 // Run executes one strategy against a prepared optimizer and reports the
-// chosen materializations, costs and optimization time.
+// chosen materializations, costs and optimization time. It is the
+// budget-free shim over RunWith kept for the one-shot API.
 func Run(opt *volcano.Optimizer, strat Strategy) Result {
-	if strat == VolcanoSH {
-		return RunVolcanoSH(opt)
+	return RunWith(context.Background(), opt, strat, Config{})
+}
+
+// RunWith executes one strategy under a context and a Config. Cancellation
+// and budgets are honored between oracle rounds (and between individual
+// evaluations of an in-flight concurrent batch), so an interrupted run
+// still returns a deterministic best-so-far Result with its Telemetry
+// explaining where the time and oracle calls went. With no budget set the
+// chosen sets and costs are bit-identical to Run.
+func RunWith(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Config) Result {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	start := time.Now()
-	f := NewBenefitFunc(opt)
+	if cfg.Parallelism > 0 {
+		opt.Searcher.Parallelism = cfg.Parallelism
+	}
+	if cfg.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.TimeBudget)
+		defer cancel()
+	}
+	if strat == VolcanoSH {
+		return runVolcanoSH(ctx, opt, cfg)
+	}
+	start := nowFunc()
+	bc0, hit0, key0 := opt.Searcher.BCCalls, opt.Searcher.CacheHits, opt.Searcher.ComputedKey
+	f := NewBenefitFuncCtx(ctx, opt)
 	oracle := submod.NewOracle(f)
-	var picked submod.Set
+	oracle.SetControl(&submod.Control{
+		Ctx:         ctx,
+		MaxCalls:    cfg.maxCalls,
+		HasMaxCalls: cfg.hasMaxCalls,
+		OnProgress:  cfg.Progress,
+	})
+	var r submod.Result
+	setupEnd := nowFunc()
 	switch strat {
 	case Volcano:
-		picked = submod.Set{}
+		r = submod.Result{Set: submod.Set{}}
 	case Greedy:
-		picked = submod.Greedy(oracle).Set
+		r = submod.Greedy(oracle)
 	case LazyGreedyStrategy:
-		picked = submod.LazyGreedy(oracle).Set
+		r = submod.LazyGreedy(oracle)
 	case MarginalGreedy:
 		d := submod.DecomposeStar(oracle)
-		picked = submod.MarginalGreedy(d).Set
+		setupEnd = nowFunc()
+		r = submod.MarginalGreedy(d)
 	case LazyMarginalGreedy:
 		d := submod.DecomposeStar(oracle)
-		picked = submod.LazyMarginalGreedy(d).Set
+		setupEnd = nowFunc()
+		r = submod.LazyMarginalGreedy(d)
 	case MaterializeAll:
-		picked = oracle.Universe()
+		// No oracle rounds to bound, but the budget contract ("n = 0
+		// forbids any materialization") and cancellation still apply.
+		if oracle.Interrupted() {
+			r = submod.Result{Stopped: oracle.StopReason()}
+		} else {
+			r = submod.Result{Set: oracle.Universe()}
+		}
 	case Exhaustive:
-		picked = submod.Exhaustive(oracle).Set
+		r = submod.Exhaustive(oracle)
 	default:
 		panic("core: unknown strategy")
 	}
-	nodes := f.ToNodes(picked)
+	searchEnd := nowFunc()
+	nodes := f.ToNodes(r.Set)
 	res := Result{
 		Strategy:     strat,
 		Materialized: nodes,
 		Set:          opt.NewNodeSet(nodes...),
 		VolcanoCost:  f.Base(),
-		OptTime:      time.Since(start),
 		OracleCalls:  oracle.Calls,
 	}
 	res.Cost = opt.BestCost(res.Set)
 	res.Benefit = res.VolcanoCost - res.Cost
+	end := nowFunc()
+	res.OptTime = end.Sub(start)
+	res.Telemetry = Telemetry{
+		OracleCalls:  oracle.Calls,
+		BCCalls:      opt.Searcher.BCCalls - bc0,
+		CacheHits:    opt.Searcher.CacheHits - hit0,
+		ComputedKeys: opt.Searcher.ComputedKey - key0,
+		Rounds:       r.Iterations,
+		Pruned:       r.Pruned,
+		Stopped:      r.Stopped,
+		SetupTime:    setupEnd.Sub(start),
+		SearchTime:   searchEnd.Sub(setupEnd),
+		FinalizeTime: end.Sub(searchEnd),
+		TotalTime:    end.Sub(start),
+	}
+	res.Telemetry.fillHitRate()
 	return res
+}
+
+func (t *Telemetry) fillHitRate() {
+	if n := t.CacheHits + t.ComputedKeys; n > 0 {
+		t.CacheHitRate = float64(t.CacheHits) / float64(n)
+	}
 }
 
 // RunK executes the cardinality-constrained MarginalGreedy of Section 5.3:
@@ -205,7 +346,7 @@ func Run(opt *volcano.Optimizer, strat Strategy) Result {
 // universe-reduction preprocessing runs first; Theorem 4 guarantees the
 // same output either way.
 func RunK(opt *volcano.Optimizer, k int, reduce bool) Result {
-	start := time.Now()
+	start := nowFunc()
 	f := NewBenefitFunc(opt)
 	oracle := submod.NewOracle(f)
 	d := submod.DecomposeStar(oracle)
@@ -220,11 +361,18 @@ func RunK(opt *volcano.Optimizer, k int, reduce bool) Result {
 		Strategy:     MarginalGreedy,
 		Materialized: f.ToNodes(r.Set),
 		VolcanoCost:  f.Base(),
-		OptTime:      time.Since(start),
+		OptTime:      nowFunc().Sub(start),
 		OracleCalls:  oracle.Calls,
 	}
 	res.Set = opt.NewNodeSet(res.Materialized...)
 	res.Cost = opt.BestCost(res.Set)
 	res.Benefit = res.VolcanoCost - res.Cost
+	res.Telemetry = Telemetry{
+		OracleCalls: oracle.Calls,
+		Rounds:      r.Iterations,
+		Pruned:      r.Pruned,
+		Stopped:     r.Stopped,
+		TotalTime:   res.OptTime,
+	}
 	return res
 }

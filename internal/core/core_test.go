@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cost"
@@ -163,4 +164,56 @@ func equalIDs(a, b []memo.GroupID) bool {
 		}
 	}
 	return true
+}
+
+func TestBudgetRunWithZeroOracleCalls(t *testing.T) {
+	opt := bq2Optimizer(t)
+	for _, s := range []Strategy{Greedy, MarginalGreedy, LazyMarginalGreedy, MaterializeAll, VolcanoSH} {
+		r := RunWith(context.Background(), opt, s, Config{}.LimitOracleCalls(0))
+		if len(r.Materialized) != 0 {
+			t.Errorf("%v: zero budget materialized %v", s, r.Materialized)
+		}
+		if r.Telemetry.Stopped != submod.StopCallBudget {
+			t.Errorf("%v: Stopped = %v, want %v", s, r.Telemetry.Stopped, submod.StopCallBudget)
+		}
+		if r.OracleCalls != 0 {
+			t.Errorf("%v: spent %d oracle calls under zero budget", s, r.OracleCalls)
+		}
+		if r.Cost != r.VolcanoCost || r.Benefit != 0 {
+			t.Errorf("%v: empty set must price at bc(∅): cost %v vs %v", s, r.Cost, r.VolcanoCost)
+		}
+	}
+}
+
+func TestBudgetRunWithMatchesRunWhenOff(t *testing.T) {
+	opt := bq2Optimizer(t)
+	for _, s := range []Strategy{Volcano, Greedy, LazyGreedyStrategy, MarginalGreedy, LazyMarginalGreedy, MaterializeAll, VolcanoSH} {
+		plain := Run(opt, s)
+		with := RunWith(context.Background(), opt, s, Config{})
+		if !equalIDs(plain.Materialized, with.Materialized) || plain.Cost != with.Cost {
+			t.Errorf("%v: RunWith diverged: %v/%v vs %v/%v",
+				s, with.Materialized, with.Cost, plain.Materialized, plain.Cost)
+		}
+		if with.Telemetry.Stopped != submod.StopNone {
+			t.Errorf("%v: unbudgeted run reports Stopped=%v", s, with.Telemetry.Stopped)
+		}
+		if s != Volcano && with.Telemetry.BCCalls <= 0 {
+			t.Errorf("%v: telemetry BCCalls = %d", s, with.Telemetry.BCCalls)
+		}
+	}
+}
+
+func TestBudgetTelemetryPhases(t *testing.T) {
+	opt := bq2Optimizer(t)
+	r := RunWith(context.Background(), opt, MarginalGreedy, Config{})
+	tl := r.Telemetry
+	if tl.OracleCalls != r.OracleCalls || tl.Rounds <= 0 {
+		t.Errorf("telemetry inconsistent: %+v (oracle calls %d)", tl, r.OracleCalls)
+	}
+	if tl.CacheHitRate < 0 || tl.CacheHitRate > 1 {
+		t.Errorf("hit rate %v out of range", tl.CacheHitRate)
+	}
+	if tl.SetupTime < 0 || tl.SearchTime < 0 || tl.FinalizeTime < 0 || tl.TotalTime < tl.SearchTime {
+		t.Errorf("phase times inconsistent: %+v", tl)
+	}
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/memo"
 	"repro/internal/physical"
+	"repro/internal/submod"
 	"repro/internal/volcano"
 )
 
@@ -14,61 +17,100 @@ import (
 // it never steers plan choice toward sharing. It provides the middle
 // baseline between stand-alone Volcano and full cost-based MQO.
 func RunVolcanoSH(opt *volcano.Optimizer) Result {
-	res := runTimed(func() ([]memo.GroupID, float64) {
-		base := opt.BestCost(physical.NodeSet{})
-		plan := opt.Plan(physical.NodeSet{})
-
-		// Count how many times each group is computed across the locally
-		// optimal plan trees.
-		uses := map[memo.GroupID]int{}
-		var walk func(n *physical.PlanNode)
-		walk = func(n *physical.PlanNode) {
-			uses[n.Group]++
-			for _, c := range n.Children {
-				walk(c)
-			}
-		}
-		for _, q := range plan.Queries {
-			walk(q)
-		}
-
-		// Candidates: shareable groups computed at least twice in the
-		// locally optimal plans. Greedily keep the ones that actually
-		// reduce bestCost when materialized (cheapest check first by use
-		// count, descending).
-		var cands []memo.GroupID
-		for _, id := range opt.Shareable() {
-			if uses[id] >= 2 {
-				cands = append(cands, id)
-			}
-		}
-		sortByUsesDesc(cands, uses)
-		chosen := opt.NewNodeSet()
-		cur := base
-		for _, id := range cands {
-			if c := opt.BestCost(chosen.With(id)); c < cur {
-				chosen.Add(id)
-				cur = c
-			}
-		}
-		return chosen.Groups(), base
-	}, opt)
-	return res
+	return runVolcanoSH(context.Background(), opt, Config{})
 }
 
-// runTimed wraps the common Result bookkeeping.
-func runTimed(f func() ([]memo.GroupID, float64), opt *volcano.Optimizer) Result {
+// runVolcanoSH is the budget-aware body: Volcano-SH has no submod oracle,
+// so its bestCost probes are counted directly against the call budget and
+// the candidate keep-loop checks the context between probes.
+func runVolcanoSH(ctx context.Context, opt *volcano.Optimizer, cfg Config) Result {
 	start := nowFunc()
-	nodes, base := f()
+	bc0, hit0, key0 := opt.Searcher.BCCalls, opt.Searcher.CacheHits, opt.Searcher.ComputedKey
+	base := opt.BestCost(physical.NodeSet{})
+	plan := opt.Plan(physical.NodeSet{})
+	setupEnd := nowFunc()
+
+	// Count how many times each group is computed across the locally
+	// optimal plan trees.
+	uses := map[memo.GroupID]int{}
+	var walk func(n *physical.PlanNode)
+	walk = func(n *physical.PlanNode) {
+		uses[n.Group]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, q := range plan.Queries {
+		walk(q)
+	}
+
+	// Candidates: shareable groups computed at least twice in the
+	// locally optimal plans. Greedily keep the ones that actually
+	// reduce bestCost when materialized (cheapest check first by use
+	// count, descending).
+	var cands []memo.GroupID
+	for _, id := range opt.Shareable() {
+		if uses[id] >= 2 {
+			cands = append(cands, id)
+		}
+	}
+	sortByUsesDesc(cands, uses)
+	chosen := opt.NewNodeSet()
+	cur := base
+	calls, rounds := 0, 0
+	stopped := submod.StopNone
+	for _, id := range cands {
+		if err := ctx.Err(); err != nil {
+			stopped = submod.CtxStopReason(err)
+			break
+		}
+		if cfg.hasMaxCalls && calls >= cfg.maxCalls {
+			stopped = submod.StopCallBudget
+			break
+		}
+		calls++
+		rounds++
+		if c := opt.BestCost(chosen.With(id)); c < cur {
+			chosen.Add(id)
+			cur = c
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(submod.Progress{
+				Algorithm:   "Volcano-SH",
+				Round:       rounds,
+				Selected:    chosen.Len(),
+				Remaining:   len(cands) - rounds,
+				OracleCalls: calls,
+				Best:        base - cur,
+			})
+		}
+	}
+	searchEnd := nowFunc()
+
 	res := Result{
 		Strategy:     VolcanoSH,
-		Materialized: nodes,
-		Set:          opt.NewNodeSet(nodes...),
+		Materialized: chosen.Groups(),
+		Set:          chosen,
 		VolcanoCost:  base,
-		OptTime:      nowFunc().Sub(start),
+		OracleCalls:  calls,
 	}
 	res.Cost = opt.BestCost(res.Set)
 	res.Benefit = res.VolcanoCost - res.Cost
+	end := nowFunc()
+	res.OptTime = end.Sub(start)
+	res.Telemetry = Telemetry{
+		OracleCalls:  calls,
+		BCCalls:      opt.Searcher.BCCalls - bc0,
+		CacheHits:    opt.Searcher.CacheHits - hit0,
+		ComputedKeys: opt.Searcher.ComputedKey - key0,
+		Rounds:       rounds,
+		Stopped:      stopped,
+		SetupTime:    setupEnd.Sub(start),
+		SearchTime:   searchEnd.Sub(setupEnd),
+		FinalizeTime: end.Sub(searchEnd),
+		TotalTime:    end.Sub(start),
+	}
+	res.Telemetry.fillHitRate()
 	return res
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cardinality"
 	"repro/internal/expr"
@@ -26,6 +28,15 @@ func (a Accounting) Total() float64 {
 	return a.ReadBlocks + 2*a.WriteBlocks + float64(a.Seeks)*5
 }
 
+// add folds another tally in; the wavefront scheduler merges per-step
+// tallies in step order so accounting stays deterministic.
+func (a *Accounting) add(b Accounting) {
+	a.ReadBlocks += b.ReadBlocks
+	a.WriteBlocks += b.WriteBlocks
+	a.Seeks += b.Seeks
+	a.RowsOut += b.RowsOut
+}
+
 // memBlocks mirrors the cost model's 6 MB operator memory in 4 KB blocks;
 // the executor uses it only for spill accounting.
 const memBlocks = 1536
@@ -43,12 +54,33 @@ type Engine struct {
 	M   *memo.Memo
 	IO  Accounting
 
+	// Parallelism bounds the workers that execute independent
+	// materialization steps of a consolidated plan (and then the query
+	// plans) concurrently — the same knob shape as the optimizer's
+	// Searcher.Parallelism and repro.WithParallelism. Steps are scheduled
+	// in topological wavefronts: a step whose plan reads another step's
+	// materialization runs in a later wave, and queries run only after
+	// every materialization. Values <= 1 keep the fully serial execution
+	// (bit-identical accounting to earlier releases); at higher settings
+	// rows are identical and I/O tallies are merged in deterministic step
+	// order (float sums may differ in the last ulp from a serial run).
+	Parallelism int
+
 	store map[memo.GroupID]stored
 }
 
 // NewEngine returns an engine over the memo the plan was extracted from.
 func NewEngine(gen *Generator, m *memo.Memo) *Engine {
 	return &Engine{Gen: gen, M: m, store: map[memo.GroupID]stored{}}
+}
+
+// task is one execution context: shared read-only engine state plus a
+// private I/O tally, so concurrent steps never contend on the accountant.
+// The engine's store is read-only while a wave runs; the scheduler commits
+// results between waves.
+type task struct {
+	e  *Engine
+	io Accounting
 }
 
 // QueryResult is the output of one query of the batch.
@@ -58,32 +90,168 @@ type QueryResult struct {
 	Rows   []Row
 }
 
-// RunConsolidated executes a consolidated plan: materialization steps in
-// order (each computed once and written to the simulated disk), then every
-// query plan (reading shared results where the plan says so).
+// RunConsolidated executes a consolidated plan: materialization steps
+// first (each computed once and written to the simulated disk), then every
+// query plan (reading shared results where the plan says so). With
+// Parallelism > 1 independent steps run concurrently in topological
+// wavefronts; queries still execute only after their materializations.
 func (e *Engine) RunConsolidated(cp *physical.ConsolidatedPlan) ([]QueryResult, error) {
+	if e.Parallelism > 1 {
+		return e.runConsolidatedParallel(cp)
+	}
+	t := &task{e: e, io: e.IO}
+	defer func() { e.IO = t.io }()
 	for _, st := range cp.Steps {
-		schema, rows, err := e.run(st.Plan)
+		schema, rows, err := t.run(st.Plan)
 		if err != nil {
 			return nil, fmt.Errorf("materializing group %d: %w", st.Group, err)
 		}
 		blocks := e.blocksFor(len(rows), len(schema.Names))
-		e.IO.WriteBlocks += blocks
-		e.IO.Seeks++
+		t.io.WriteBlocks += blocks
+		t.io.Seeks++
 		e.store[st.Group] = stored{schema: schema, rows: rows, blocks: blocks}
 	}
 	var out []QueryResult
 	for i, qp := range cp.Queries {
-		schema, rows, err := e.run(qp)
+		schema, rows, err := t.run(qp)
 		if err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)
 		}
-		name := fmt.Sprintf("query-%d", i)
-		if i < len(cp.QueryNames) {
-			name = cp.QueryNames[i]
+		t.io.RowsOut += len(rows)
+		out = append(out, QueryResult{Name: queryName(cp, i), Schema: schema, Rows: rows})
+	}
+	return out, nil
+}
+
+func queryName(cp *physical.ConsolidatedPlan, i int) string {
+	if i < len(cp.QueryNames) {
+		return cp.QueryNames[i]
+	}
+	return fmt.Sprintf("query-%d", i)
+}
+
+// stepDeps returns, per materialization step, the indexes of the steps
+// whose materializations its plan reads (matscan edges between steps).
+func stepDeps(cp *physical.ConsolidatedPlan) [][]int {
+	stepOf := make(map[memo.GroupID]int, len(cp.Steps))
+	for i, st := range cp.Steps {
+		stepOf[st.Group] = i
+	}
+	deps := make([][]int, len(cp.Steps))
+	for i, st := range cp.Steps {
+		seen := map[int]bool{}
+		var walk func(n *physical.PlanNode)
+		walk = func(n *physical.PlanNode) {
+			if n.Op == physical.OpNameMatScan {
+				if j, ok := stepOf[n.Group]; ok && j != i {
+					seen[j] = true
+				}
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
 		}
-		e.IO.RowsOut += len(rows)
-		out = append(out, QueryResult{Name: name, Schema: schema, Rows: rows})
+		walk(st.Plan)
+		for j := range seen {
+			deps[i] = append(deps[i], j)
+		}
+	}
+	return deps
+}
+
+// runConsolidatedParallel executes the plan's materialization steps in
+// topological wavefronts — every step of a wave depends only on steps of
+// earlier waves — and then the query plans, fanning each phase out to up
+// to Parallelism workers. Each unit of work runs on its own task, and the
+// scheduler commits rows, store entries and I/O tallies between waves in
+// ascending step order, so results (and accounting, up to float summation
+// order) are deterministic regardless of scheduling.
+func (e *Engine) runConsolidatedParallel(cp *physical.ConsolidatedPlan) ([]QueryResult, error) {
+	type unit struct {
+		schema *Schema
+		rows   []Row
+		io     Accounting
+		err    error
+	}
+	runAll := func(plans []*physical.PlanNode) []unit {
+		outs := make([]unit, len(plans))
+		par := e.Parallelism
+		if par > len(plans) {
+			par = len(plans)
+		}
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for k := 0; k < par; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(plans) {
+						return
+					}
+					t := &task{e: e}
+					schema, rows, err := t.run(plans[i])
+					outs[i] = unit{schema: schema, rows: rows, io: t.io, err: err}
+				}
+			}()
+		}
+		wg.Wait()
+		return outs
+	}
+
+	deps := stepDeps(cp)
+	done := make([]bool, len(cp.Steps))
+	remaining := len(cp.Steps)
+	for remaining > 0 {
+		var wave []int
+		for i := range cp.Steps {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, j := range deps[i] {
+				if !done[j] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, i)
+			}
+		}
+		if len(wave) == 0 {
+			return nil, fmt.Errorf("exec: materialization steps form a dependency cycle")
+		}
+		plans := make([]*physical.PlanNode, len(wave))
+		for p, i := range wave {
+			plans[p] = cp.Steps[i].Plan
+		}
+		outs := runAll(plans)
+		for p, i := range wave {
+			o := outs[p]
+			if o.err != nil {
+				return nil, fmt.Errorf("materializing group %d: %w", cp.Steps[i].Group, o.err)
+			}
+			blocks := e.blocksFor(len(o.rows), len(o.schema.Names))
+			e.IO.add(o.io)
+			e.IO.WriteBlocks += blocks
+			e.IO.Seeks++
+			e.store[cp.Steps[i].Group] = stored{schema: o.schema, rows: o.rows, blocks: blocks}
+			done[i] = true
+			remaining--
+		}
+	}
+
+	outs := runAll(cp.Queries)
+	var out []QueryResult
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, o.err)
+		}
+		e.IO.add(o.io)
+		e.IO.RowsOut += len(o.rows)
+		out = append(out, QueryResult{Name: queryName(cp, i), Schema: o.schema, Rows: o.rows})
 	}
 	return out, nil
 }
@@ -94,20 +262,20 @@ func (e *Engine) blocksFor(rows, cols int) float64 {
 }
 
 // run executes one plan node tree.
-func (e *Engine) run(n *physical.PlanNode) (*Schema, []Row, error) {
+func (t *task) run(n *physical.PlanNode) (*Schema, []Row, error) {
 	switch n.Op {
 	case physical.OpNameScan, physical.OpNameIndexScan:
-		return e.runScan(n)
+		return t.runScan(n)
 	case physical.OpNameMatScan:
-		st, ok := e.store[n.Group]
+		st, ok := t.e.store[n.Group]
 		if !ok {
 			return nil, nil, fmt.Errorf("matscan of group %d before materialization", n.Group)
 		}
-		e.IO.ReadBlocks += st.blocks
-		e.IO.Seeks++
+		t.io.ReadBlocks += st.blocks
+		t.io.Seeks++
 		return st.schema, st.rows, nil
 	case physical.OpNameFilter:
-		schema, rows, err := e.run(n.Children[0])
+		schema, rows, err := t.run(n.Children[0])
 		if err != nil {
 			return nil, nil, err
 		}
@@ -120,25 +288,25 @@ func (e *Engine) run(n *physical.PlanNode) (*Schema, []Row, error) {
 		// address columns under this group's canonical alias.
 		return renameAliases(schema, memo.CanonAlias(n.Group)), out, nil
 	case physical.OpNameSort:
-		schema, rows, err := e.run(n.Children[0])
+		schema, rows, err := t.run(n.Children[0])
 		if err != nil {
 			return nil, nil, err
 		}
 		// External-sort accounting: inputs beyond the 6 MB operator memory
 		// spill run files once and read them back for the merge.
-		if blocks := e.blocksFor(len(rows), len(schema.Names)); blocks > memBlocks {
-			e.IO.WriteBlocks += blocks
-			e.IO.ReadBlocks += blocks
-			e.IO.Seeks += 2
+		if blocks := t.e.blocksFor(len(rows), len(schema.Names)); blocks > memBlocks {
+			t.io.WriteBlocks += blocks
+			t.io.ReadBlocks += blocks
+			t.io.Seeks += 2
 		}
 		sorted, err := sortRows(schema, rows, n.Order)
 		return schema, sorted, err
 	case physical.OpNameMergeJoin, physical.OpNameHashJoin, physical.OpNameBNLJ:
-		return e.runJoin(n)
+		return t.runJoin(n)
 	case physical.OpNameSortAgg, physical.OpNameHashAgg:
-		return e.runAgg(n)
+		return t.runAgg(n)
 	case physical.OpNameReAgg:
-		return e.runReAgg(n)
+		return t.runReAgg(n)
 	default:
 		return nil, nil, fmt.Errorf("exec: unknown operator %q", n.Op)
 	}
@@ -147,15 +315,15 @@ func (e *Engine) run(n *physical.PlanNode) (*Schema, []Row, error) {
 // runScan generates the base table restricted to the group's projected
 // columns, applies the pushed-down predicate, and charges I/O for the
 // stored relation (index scans charge only the matching fraction).
-func (e *Engine) runScan(n *physical.PlanNode) (*Schema, []Row, error) {
-	grp := e.M.Group(n.Group)
+func (t *task) runScan(n *physical.PlanNode) (*Schema, []Row, error) {
+	grp := t.e.M.Group(n.Group)
 	var cols []string
 	var names []string
 	for _, cc := range grp.Props.ColumnList() {
 		cols = append(cols, cc.Column)
 		names = append(names, cc.String())
 	}
-	_, rows, err := e.Gen.Table(n.Table, cols)
+	_, rows, err := t.e.Gen.Table(n.Table, cols)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -164,16 +332,16 @@ func (e *Engine) runScan(n *physical.PlanNode) (*Schema, []Row, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	t, _ := e.Gen.Cat.Table(n.Table)
+	tbl, _ := t.e.Gen.Cat.Table(n.Table)
 	genRows := len(rows)
-	tableBlocks := math.Max(1, math.Ceil(float64(genRows)*float64(t.RowWidth())/4096))
+	tableBlocks := math.Max(1, math.Ceil(float64(genRows)*float64(tbl.RowWidth())/4096))
 	if n.Op == physical.OpNameIndexScan && genRows > 0 {
 		frac := float64(len(out)) / float64(genRows)
-		e.IO.ReadBlocks += math.Max(1, tableBlocks*frac)
+		t.io.ReadBlocks += math.Max(1, tableBlocks*frac)
 	} else {
-		e.IO.ReadBlocks += tableBlocks
+		t.io.ReadBlocks += tableBlocks
 	}
-	e.IO.Seeks++
+	t.io.Seeks++
 	if !sortedByOrder(schema, out, n.Order) {
 		// Clustered storage order: the generator emits key order already;
 		// enforce explicitly for robustness.
@@ -185,12 +353,12 @@ func (e *Engine) runScan(n *physical.PlanNode) (*Schema, []Row, error) {
 	return schema, out, nil
 }
 
-func (e *Engine) runJoin(n *physical.PlanNode) (*Schema, []Row, error) {
-	ls, lrows, err := e.run(n.Children[0])
+func (t *task) runJoin(n *physical.PlanNode) (*Schema, []Row, error) {
+	ls, lrows, err := t.run(n.Children[0])
 	if err != nil {
 		return nil, nil, err
 	}
-	rs, rrows, err := e.run(n.Children[1])
+	rs, rrows, err := t.run(n.Children[1])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -237,12 +405,12 @@ func (e *Engine) runJoin(n *physical.PlanNode) (*Schema, []Row, error) {
 	default:
 		// Block nested loops: account for inner re-reads when the outer
 		// exceeds operator memory.
-		outerBlocks := e.blocksFor(len(lrows), len(ls.Names))
-		innerBlocks := e.blocksFor(len(rrows), len(rs.Names))
+		outerBlocks := t.e.blocksFor(len(lrows), len(ls.Names))
+		innerBlocks := t.e.blocksFor(len(rrows), len(rs.Names))
 		passes := int(math.Ceil(outerBlocks / float64(memBlocks-2)))
 		if passes > 1 {
-			e.IO.ReadBlocks += float64(passes-1) * innerBlocks
-			e.IO.Seeks += passes - 1
+			t.io.ReadBlocks += float64(passes-1) * innerBlocks
+			t.io.Seeks += passes - 1
 		}
 		for _, l := range lrows {
 			for _, r := range rrows {
@@ -262,8 +430,8 @@ func (e *Engine) runJoin(n *physical.PlanNode) (*Schema, []Row, error) {
 	return schema, out, nil
 }
 
-func (e *Engine) runAgg(n *physical.PlanNode) (*Schema, []Row, error) {
-	cs, rows, err := e.run(n.Children[0])
+func (t *task) runAgg(n *physical.PlanNode) (*Schema, []Row, error) {
+	cs, rows, err := t.run(n.Children[0])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -273,12 +441,12 @@ func (e *Engine) runAgg(n *physical.PlanNode) (*Schema, []Row, error) {
 // runReAgg recomputes a coarse aggregation from a finer one: the input
 // columns to aggregate are the finer aggregation's outputs, and sums
 // re-sum, counts sum, mins re-min, maxes re-max.
-func (e *Engine) runReAgg(n *physical.PlanNode) (*Schema, []Row, error) {
-	cs, rows, err := e.run(n.Children[0])
+func (t *task) runReAgg(n *physical.PlanNode) (*Schema, []Row, error) {
+	cs, rows, err := t.run(n.Children[0])
 	if err != nil {
 		return nil, nil, err
 	}
-	fine := e.fineSpec(n.Children[0].Group)
+	fine := t.e.fineSpec(n.Children[0].Group)
 	if fine == nil {
 		return nil, nil, fmt.Errorf("exec: reagg child group %d has no aggregation", n.Children[0].Group)
 	}

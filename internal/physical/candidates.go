@@ -273,36 +273,3 @@ func (s *Searcher) aggTemplates(g memo.GroupID, e *memo.MExpr) []tmpl {
 	}
 	return out
 }
-
-// candidate is one priced implementation choice, produced only during plan
-// extraction (the cost search itself runs directly over the templates).
-type candidate struct {
-	cost     float64
-	out      ordID
-	t        *tmpl
-	childOrd [2]ordID // resolved child requirements (filters forward ord)
-}
-
-// enumCandidates prices the group's implementations for the required order
-// under the worker's current materialization set, in template order.
-func (w *worker) enumCandidates(g memo.GroupID, ord ordID) []candidate {
-	s := w.s
-	var out []candidate
-	for i := range s.tmpls[g] {
-		t := &s.tmpls[g][i]
-		cost, o, ok := w.price(t, ord)
-		if !ok {
-			continue
-		}
-		c := candidate{cost: cost, out: o, t: t}
-		if t.passthrough {
-			c.childOrd[0] = ord
-		} else {
-			for ci := uint8(0); ci < t.nchild; ci++ {
-				c.childOrd[ci] = t.child[ci].ord
-			}
-		}
-		out = append(out, c)
-	}
-	return out
-}

@@ -61,6 +61,7 @@
 package physical
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
 	"strings"
@@ -230,9 +231,10 @@ type Searcher struct {
 	ordIdx  map[string]ordID // construction only
 
 	// Stats.
-	BCCalls     int // bestCost invocations
-	CacheHits   int
-	ComputedKey int // fresh (group, order, mask) computations
+	BCCalls      int // bestCost invocations
+	CacheHits    int
+	ComputedKey  int // fresh (group, order, mask) computations
+	ExtractCalls int // plan-extraction node resolutions (BestPlan)
 }
 
 // NewSearcher returns a searcher over the given memo with the incremental
@@ -249,7 +251,9 @@ func NewSearcher(m *memo.Memo) *Searcher {
 }
 
 // ResetStats clears the counters (not the cache).
-func (s *Searcher) ResetStats() { s.BCCalls, s.CacheHits, s.ComputedKey = 0, 0, 0 }
+func (s *Searcher) ResetStats() {
+	s.BCCalls, s.CacheHits, s.ComputedKey, s.ExtractCalls = 0, 0, 0, 0
+}
 
 // ClearCache drops the cross-call caches of every worker.
 func (s *Searcher) ClearCache() {
@@ -361,7 +365,7 @@ type worker struct {
 	mhEp      []uint32
 	matIDs    []memo.GroupID // scratch for stored-order initialization
 
-	bcCalls, cacheHits, computedKey int
+	bcCalls, cacheHits, computedKey, extractCalls int
 }
 
 func (s *Searcher) newWorker() *worker {
@@ -396,7 +400,8 @@ func (w *worker) flushStats() {
 	w.s.BCCalls += w.bcCalls
 	w.s.CacheHits += w.cacheHits
 	w.s.ComputedKey += w.computedKey
-	w.bcCalls, w.cacheHits, w.computedKey = 0, 0, 0
+	w.s.ExtractCalls += w.extractCalls
+	w.bcCalls, w.cacheHits, w.computedKey, w.extractCalls = 0, 0, 0, 0
 }
 
 // initCall resets the per-call scratch state for a new materialization set
@@ -509,6 +514,17 @@ func (s *Searcher) bestCostOn(w *worker, mat memo.Bitset) float64 {
 // Parallelism workers and returns the costs in input order. Results are
 // bit-identical to calling BestCost sequentially.
 func (s *Searcher) BestCostBatch(mats []NodeSet) []float64 {
+	out, _ := s.BestCostBatchCtx(nil, mats)
+	return out
+}
+
+// BestCostBatchCtx is BestCostBatch under a context: once ctx is cancelled
+// no further evaluation starts (a bc(S) evaluation already underway runs
+// to completion — cancellation granularity is one oracle call). It then
+// returns ok=false and the partially filled costs, which the caller must
+// discard; with a nil or undone context results are complete, in input
+// order, and bit-identical to sequential BestCost calls.
+func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs []float64, ok bool) {
 	out := make([]float64, len(mats))
 	par := s.Parallelism
 	if par <= 0 {
@@ -517,13 +533,30 @@ func (s *Searcher) BestCostBatch(mats []NodeSet) []float64 {
 	if par > len(mats) {
 		par = len(mats)
 	}
+	var aborted int32
+	cancelled := func() bool {
+		if ctx == nil {
+			return false
+		}
+		if atomic.LoadInt32(&aborted) != 0 {
+			return true
+		}
+		if ctx.Err() != nil {
+			atomic.StoreInt32(&aborted, 1)
+			return true
+		}
+		return false
+	}
 	if par <= 1 {
 		w := s.worker(0)
 		for i, m := range mats {
+			if cancelled() {
+				break
+			}
 			out[i] = s.bestCostOn(w, m.bits)
 		}
 		w.flushStats()
-		return out
+		return out, aborted == 0
 	}
 	workers := make([]*worker, par)
 	for k := range workers {
@@ -536,6 +569,9 @@ func (s *Searcher) BestCostBatch(mats []NodeSet) []float64 {
 		go func(w *worker) {
 			defer wg.Done()
 			for {
+				if cancelled() {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(mats) {
 					return
@@ -548,7 +584,7 @@ func (s *Searcher) BestCostBatch(mats []NodeSet) []float64 {
 	for _, w := range workers {
 		w.flushStats()
 	}
-	return out
+	return out, atomic.LoadInt32(&aborted) == 0
 }
 
 // BestUseCost is buc(S): the cost of the optimal plan that may exploit S
@@ -656,7 +692,7 @@ func (w *worker) compute(g memo.GroupID, ord ordID) float64 {
 // the template is gated off or cannot deliver the required order. It is
 // the single pricing rule shared by the cost search (compute), the
 // stored-order pass (bestDeliveredOrder) and plan extraction
-// (enumCandidates).
+// (extractCompute).
 func (w *worker) price(t *tmpl, ord ordID) (cost float64, out ordID, ok bool) {
 	s := w.s
 	if t.extended && !s.ExtendedOps {

@@ -59,6 +59,7 @@ func (s *Searcher) BestPlan(mat NodeSet) *ConsolidatedPlan {
 		return ids[i] < ids[j]
 	})
 	for _, id := range ids {
+		w.extractCalls++
 		p := w.extractCompute(id, 0)
 		wc := s.writeArr[id]
 		cp.Steps = append(cp.Steps, MatStep{Group: id, Plan: p, WriteCost: wc})
@@ -76,6 +77,7 @@ func (s *Searcher) BestPlan(mat NodeSet) *ConsolidatedPlan {
 // extractUse mirrors useCost, returning the chosen plan.
 func (w *worker) extractUse(g memo.GroupID, ord ordID) *PlanNode {
 	s := w.s
+	w.extractCalls++
 	compCost := w.compute(g, ord)
 	if w.matHas(g) {
 		alt, needSort := w.matUseCost(g, ord)
@@ -103,14 +105,22 @@ func (w *worker) extractUse(g memo.GroupID, ord ordID) *PlanNode {
 	return w.extractCompute(g, ord)
 }
 
-// extractCompute mirrors compute, returning the chosen plan.
+// extractCompute mirrors compute, returning the chosen plan. It prices the
+// group's templates directly — the same bitset/template fast path the cost
+// search runs on — and materializes a PlanNode only for the winner, so
+// extraction allocates nothing per considered implementation. ExtractCalls
+// is counted at the resolution entry points (extractUse and BestPlan's
+// step loop), once per resolved node.
 func (w *worker) extractCompute(g memo.GroupID, ord ordID) *PlanNode {
 	s := w.s
 	best := w.compute(g, ord)
-	for _, cand := range w.enumCandidates(g, ord) {
-		if cand.cost <= best+1e-9 {
-			return w.buildPlan(g, cand)
+	for i := range s.tmpls[g] {
+		t := &s.tmpls[g][i]
+		cost, out, ok := w.price(t, ord)
+		if !ok || cost > best+1e-9 {
+			continue
 		}
+		return w.buildPlan(g, t, ord, cost, out)
 	}
 	// Enforcer: compute unordered, then sort.
 	if ord != 0 {
@@ -127,17 +137,23 @@ func (w *worker) extractCompute(g memo.GroupID, ord ordID) *PlanNode {
 	panic(fmt.Sprintf("physical: no plan for group %d (internal error)", g))
 }
 
-func (w *worker) buildPlan(g memo.GroupID, cand candidate) *PlanNode {
+// buildPlan materializes the plan node of one priced template. req is the
+// order required of the group (forwarded to the child by the passthrough
+// filter); out is the order the template delivers.
+func (w *worker) buildPlan(g memo.GroupID, t *tmpl, req ordID, cost float64, out ordID) *PlanNode {
 	s := w.s
 	grp := s.M.Group(g)
-	t := cand.t
 	node := &PlanNode{
 		Op:       t.op,
 		Group:    g,
-		Order:    s.orders[cand.out],
+		Order:    s.orders[out],
 		Rows:     grp.Props.Rows,
-		Cost:     cand.cost,
+		Cost:     cost,
 		IndexCol: t.indexCol,
+	}
+	childOrd := [2]ordID{t.child[0].ord, t.child[1].ord}
+	if t.passthrough {
+		childOrd[0] = req
 	}
 	e := t.e
 	switch e.Kind {
@@ -146,7 +162,7 @@ func (w *worker) buildPlan(g memo.GroupID, cand candidate) *PlanNode {
 		node.Pred = e.Pred
 	case memo.OpFilter:
 		node.Pred = e.Pred
-		node.Children = []*PlanNode{w.extractUse(e.Children[0], cand.childOrd[0])}
+		node.Children = []*PlanNode{w.extractUse(e.Children[0], childOrd[0])}
 	case memo.OpJoin:
 		node.Conds = e.Conds
 		first, second := e.Children[0], e.Children[1]
@@ -154,12 +170,12 @@ func (w *worker) buildPlan(g memo.GroupID, cand candidate) *PlanNode {
 			first, second = second, first
 		}
 		node.Children = []*PlanNode{
-			w.extractUse(first, cand.childOrd[0]),
-			w.extractUse(second, cand.childOrd[1]),
+			w.extractUse(first, childOrd[0]),
+			w.extractUse(second, childOrd[1]),
 		}
 	case memo.OpAgg, memo.OpReAgg:
 		node.Spec = e.Spec
-		node.Children = []*PlanNode{w.extractUse(e.Children[0], cand.childOrd[0])}
+		node.Children = []*PlanNode{w.extractUse(e.Children[0], childOrd[0])}
 	}
 	return node
 }

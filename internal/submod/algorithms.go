@@ -18,6 +18,25 @@ type Result struct {
 	// Pruned counts elements permanently removed by the ratio<1
 	// optimization of Section 5.1.
 	Pruned int
+	// Stopped records why the run ended early (StopNone for a complete
+	// run): budget exhaustion and cancellation are checked between oracle
+	// rounds, so Set is the deterministic best-so-far selection of the
+	// completed rounds.
+	Stopped StopReason
+}
+
+// finish fills the common tail of a Result: the chosen set and its value.
+// For a run interrupted before anything was selected the value is f(∅) = 0
+// by normalization, with no oracle call spent on it; otherwise f(X) is
+// evaluated (a memo hit — every selected set was priced when it was
+// chosen).
+func (res *Result) finish(o *Oracle, x Set) {
+	res.Set = x
+	if res.Stopped != StopNone && x.Empty() {
+		res.Value = 0
+		return
+	}
+	res.Value = o.Eval(x)
 }
 
 // MarginalGreedy is Algorithm 2 of the paper: while some element has
@@ -25,7 +44,18 @@ type Result struct {
 // the maximum ratio; finally add every element with non-positive cost.
 // Elements observed with ratio < 1 are permanently discarded
 // (Section 5.1): by submodularity their ratio can only decrease.
+//
+// Between rounds the oracle's Control is consulted: a cancelled context or
+// an exhausted call budget stops the scan and returns the best-so-far
+// greedy prefix (Result.Stopped says why). A truncated decomposition —
+// budget spent before the costs existed — yields the empty set.
 func MarginalGreedy(d *Decomposition) Result {
+	res := Result{}
+	if d.truncated || d.o.Interrupted() {
+		res.Stopped = d.o.StopReason()
+		res.finish(d.o, Set{})
+		return res
+	}
 	x := Set{}
 	var y, free []int
 	for e := 0; e < d.o.N(); e++ {
@@ -35,9 +65,12 @@ func MarginalGreedy(d *Decomposition) Result {
 			free = append(free, e)
 		}
 	}
-	res := Result{}
 	var sets []Set
 	for len(y) > 0 {
+		if d.o.Interrupted() {
+			res.Stopped = d.o.StopReason()
+			break
+		}
 		res.Iterations++
 		// Evaluate the marginal ratio of every remaining element in one
 		// batched (possibly concurrent) oracle call, then pick the winner
@@ -46,9 +79,13 @@ func MarginalGreedy(d *Decomposition) Result {
 		for _, e := range y {
 			sets = append(sets, x.With(e))
 		}
-		vals := d.o.EvalBatch(sets)
+		vals, ok := d.o.EvalBatch(sets)
+		if !ok {
+			res.Stopped = d.o.StopReason()
+			break
+		}
 		cur := d.o.Eval(x)
-		bestE, bestR := -1, math.Inf(-1)
+		bestE, bestR, bestV := -1, math.Inf(-1), 0.0
 		keep := y[:0]
 		for i, e := range y {
 			r := d.RatioFrom(vals[i], cur, e)
@@ -58,7 +95,7 @@ func MarginalGreedy(d *Decomposition) Result {
 			}
 			keep = append(keep, e)
 			if r > bestR {
-				bestR, bestE = r, e
+				bestR, bestE, bestV = r, e, vals[i]
 			}
 		}
 		y = keep
@@ -67,10 +104,12 @@ func MarginalGreedy(d *Decomposition) Result {
 		}
 		x = x.With(bestE)
 		y = remove(y, bestE)
+		d.o.progress("MarginalGreedy", res.Iterations, x.Len(), len(y), bestV)
 	}
-	x = addFree(d, x, free)
-	res.Set = x
-	res.Value = d.F(x)
+	if res.Stopped == StopNone {
+		x, res.Stopped = addFree(d, x, free)
+	}
+	res.finish(d.o, x)
 	return res
 }
 
@@ -80,11 +119,15 @@ func MarginalGreedy(d *Decomposition) Result {
 // any insertion order. Because a real bestCost oracle may violate the
 // assumption slightly, elements are added greedily by marginal gain and
 // skipped once their marginal gain turns negative; both choices are no-ops
-// whenever the assumption holds.
-func addFree(d *Decomposition, x Set, free []int) Set {
+// whenever the assumption holds. Budget checks run between passes, like
+// the main rounds.
+func addFree(d *Decomposition, x Set, free []int) (Set, StopReason) {
 	remaining := append([]int(nil), free...)
 	var sets []Set
 	for len(remaining) > 0 {
+		if d.o.Interrupted() {
+			return x, d.o.StopReason()
+		}
 		// f(X) is computed once per pass (not once per element) and the
 		// candidate gains are evaluated in one batched oracle call.
 		cur := d.o.Eval(x)
@@ -92,7 +135,10 @@ func addFree(d *Decomposition, x Set, free []int) Set {
 		for _, e := range remaining {
 			sets = append(sets, x.With(e))
 		}
-		vals := d.o.EvalBatch(sets)
+		vals, ok := d.o.EvalBatch(sets)
+		if !ok {
+			return x, d.o.StopReason()
+		}
 		bestE, bestGain := -1, math.Inf(-1)
 		for i, e := range remaining {
 			if gain := vals[i] - cur; gain > bestGain {
@@ -105,15 +151,23 @@ func addFree(d *Decomposition, x Set, free []int) Set {
 		x = x.With(bestE)
 		remaining = remove(remaining, bestE)
 	}
-	return x
+	return x, StopNone
 }
 
 // LazyMarginalGreedy is the Section 5.2 variant: a max-heap of stale upper
 // bounds on each element's ratio. Because f_M is submodular, a recomputed
 // ratio that still dominates the heap top is the true maximum, avoiding
 // O(n) recomputation per iteration. It returns exactly the same set as
-// MarginalGreedy.
+// MarginalGreedy. Budgets are checked before every heap step (each step
+// costs at most two oracle evaluations), so a stopped run keeps the
+// selections made so far.
 func LazyMarginalGreedy(d *Decomposition) Result {
+	res := Result{}
+	if d.truncated || d.o.Interrupted() {
+		res.Stopped = d.o.StopReason()
+		res.finish(d.o, Set{})
+		return res
+	}
 	x := Set{}
 	var free []int
 	h := &ratioHeap{}
@@ -125,8 +179,11 @@ func LazyMarginalGreedy(d *Decomposition) Result {
 		}
 	}
 	heap.Init(h)
-	res := Result{}
 	for h.Len() > 0 {
+		if d.o.Interrupted() {
+			res.Stopped = d.o.StopReason()
+			break
+		}
 		top := h.items[0]
 		if top.fresh {
 			// The bound at the top is current: it is the true maximum.
@@ -136,6 +193,7 @@ func LazyMarginalGreedy(d *Decomposition) Result {
 			heap.Pop(h)
 			x = x.With(top.e)
 			res.Iterations++
+			d.o.progress("LazyMarginalGreedy", res.Iterations, x.Len(), h.Len(), d.o.Eval(x))
 			// All remaining bounds are stale with respect to the new X.
 			for i := range h.items {
 				h.items[i].fresh = false
@@ -150,9 +208,10 @@ func LazyMarginalGreedy(d *Decomposition) Result {
 		}
 		heap.Push(h, ratioItem{e: top.e, bound: r, fresh: true})
 	}
-	x = addFree(d, x, free)
-	res.Set = x
-	res.Value = d.F(x)
+	if res.Stopped == StopNone {
+		x, res.Stopped = addFree(d, x, free)
+	}
+	res.finish(d.o, x)
 	return res
 }
 
@@ -183,22 +242,36 @@ func (h *ratioHeap) Pop() interface{} {
 
 // Greedy is the benefit-greedy of Roy et al. [Algorithm 1]: at each step
 // add the element that maximizes f(X∪{x}) as long as f strictly improves.
+// Budgets and cancellation are checked between rounds.
 func Greedy(o *Oracle) Result {
+	res := Result{}
+	if o.Interrupted() {
+		res.Stopped = o.StopReason()
+		res.finish(o, Set{})
+		return res
+	}
 	x := Set{}
 	cur := o.Eval(x)
 	y := make([]int, o.N())
 	for i := range y {
 		y[i] = i
 	}
-	res := Result{}
 	var sets []Set
 	for len(y) > 0 {
+		if o.Interrupted() {
+			res.Stopped = o.StopReason()
+			break
+		}
 		res.Iterations++
 		sets = sets[:0]
 		for _, e := range y {
 			sets = append(sets, x.With(e))
 		}
-		vals := o.EvalBatch(sets) // one batched (possibly concurrent) scan
+		vals, ok := o.EvalBatch(sets) // one batched (possibly concurrent) scan
+		if !ok {
+			res.Stopped = o.StopReason()
+			break
+		}
 		bestE, bestV := -1, math.Inf(-1)
 		for i, e := range y {
 			if v := vals[i]; v > bestV {
@@ -211,6 +284,7 @@ func Greedy(o *Oracle) Result {
 		x = x.With(bestE)
 		cur = bestV
 		y = remove(y, bestE)
+		o.progress("Greedy", res.Iterations, x.Len(), len(y), cur)
 	}
 	res.Set = x
 	res.Value = cur
@@ -220,16 +294,25 @@ func Greedy(o *Oracle) Result {
 // LazyGreedy is Greedy accelerated with the Minoux heap under the
 // supermodularity ("monotonicity heuristic") assumption on the cost, i.e.
 // submodularity of the benefit f. It returns the same set as Greedy when
-// the assumption holds.
+// the assumption holds. Budgets are checked before every heap step.
 func LazyGreedy(o *Oracle) Result {
+	res := Result{}
+	if o.Interrupted() {
+		res.Stopped = o.StopReason()
+		res.finish(o, Set{})
+		return res
+	}
 	x := Set{}
 	h := &ratioHeap{}
 	for e := 0; e < o.N(); e++ {
 		h.items = append(h.items, ratioItem{e: e, bound: math.Inf(1), fresh: false})
 	}
 	heap.Init(h)
-	res := Result{}
 	for h.Len() > 0 {
+		if o.Interrupted() {
+			res.Stopped = o.StopReason()
+			break
+		}
 		top := h.items[0]
 		if top.fresh {
 			if top.bound <= 0 {
@@ -238,6 +321,7 @@ func LazyGreedy(o *Oracle) Result {
 			heap.Pop(h)
 			x = x.With(top.e)
 			res.Iterations++
+			o.progress("LazyGreedy", res.Iterations, x.Len(), h.Len(), o.Eval(x))
 			for i := range h.items {
 				h.items[i].fresh = false
 			}
@@ -247,49 +331,92 @@ func LazyGreedy(o *Oracle) Result {
 		ben := o.Eval(x.With(top.e)) - o.Eval(x)
 		heap.Push(h, ratioItem{e: top.e, bound: ben, fresh: true})
 	}
-	res.Set = x
-	res.Value = o.Eval(x)
+	res.finish(o, x)
 	return res
 }
 
 // Exhaustive returns the exact optimum by enumerating all subsets; the
-// universe must have at most 25 elements.
+// universe must have at most 25 elements. An exhausted budget stops the
+// enumeration at the best subset seen so far.
 func Exhaustive(o *Oracle) Result {
 	n := o.N()
 	if n > 25 {
 		panic("submod: exhaustive search limited to 25 elements")
 	}
+	res := Result{}
+	if o.Interrupted() {
+		res.Stopped = o.StopReason()
+		res.finish(o, Set{})
+		return res
+	}
 	best := Set{}
 	bestV := o.Eval(best)
 	for mask := uint64(1); mask < uint64(1)<<uint(n); mask++ {
+		if o.Interrupted() {
+			res.Stopped = o.StopReason()
+			break
+		}
 		s := Set{}
 		for e := 0; e < n; e++ {
 			if mask&(1<<uint(e)) != 0 {
-				s[e] = true
+				s.Add(e)
 			}
 		}
 		if v := o.Eval(s); v > bestV {
 			bestV, best = v, s
 		}
 	}
-	return Result{Set: best, Value: bestV}
+	res.Set = best
+	res.Value = bestV
+	return res
 }
 
 // MarginalGreedyK is the cardinality-constrained variant of Section 5.3:
 // MarginalGreedy that stops after at most k selections (free elements
-// consume budget too, cheapest cost first).
+// consume budget too, cheapest cost first). Oracle budgets are checked
+// between rounds like the unconstrained variant.
 func MarginalGreedyK(d *Decomposition, k int) Result {
+	return marginalGreedyKOn(d, k, nil)
+}
+
+// MarginalGreedyKOn runs MarginalGreedyK considering only the elements of
+// universe (original ids); used to verify the Theorem 4 universe
+// reduction.
+func MarginalGreedyKOn(d *Decomposition, k int, universe []int) Result {
+	if universe == nil {
+		universe = []int{}
+	}
+	return marginalGreedyKOn(d, k, universe)
+}
+
+// marginalGreedyKOn is the shared body: a nil universe means all elements.
+func marginalGreedyKOn(d *Decomposition, k int, universe []int) Result {
+	res := Result{}
+	if d.truncated || d.o.Interrupted() {
+		res.Stopped = d.o.StopReason()
+		res.finish(d.o, Set{})
+		return res
+	}
+	if universe == nil {
+		universe = make([]int, d.o.N())
+		for i := range universe {
+			universe[i] = i
+		}
+	}
 	x := Set{}
 	var y, free []int
-	for e := 0; e < d.o.N(); e++ {
+	for _, e := range universe {
 		if d.C[e] > epsCost {
 			y = append(y, e)
 		} else {
 			free = append(free, e)
 		}
 	}
-	res := Result{}
-	for len(y) > 0 && len(x) < k {
+	for len(y) > 0 && x.Len() < k {
+		if d.o.Interrupted() {
+			res.Stopped = d.o.StopReason()
+			break
+		}
 		res.Iterations++
 		bestE, bestR := -1, math.Inf(-1)
 		keep := y[:0]
@@ -310,20 +437,26 @@ func MarginalGreedyK(d *Decomposition, k int) Result {
 		}
 		x = x.With(bestE)
 		y = remove(y, bestE)
+		d.o.progress("MarginalGreedyK", res.Iterations, x.Len(), len(y), d.o.Eval(x))
 	}
-	sortByCost(free, d.C)
-	cur := d.o.Eval(x) // cached across the loop; updated only when x grows
-	for _, e := range free {
-		if len(x) >= k {
-			break
-		}
-		if v := d.o.Eval(x.With(e)); v >= cur {
-			x = x.With(e)
-			cur = v
+	if res.Stopped == StopNone {
+		sortByCost(free, d.C)
+		cur := d.o.Eval(x) // cached across the loop; updated only when x grows
+		for _, e := range free {
+			if x.Len() >= k {
+				break
+			}
+			if d.o.Interrupted() {
+				res.Stopped = d.o.StopReason()
+				break
+			}
+			if v := d.o.Eval(x.With(e)); v >= cur {
+				x = x.With(e)
+				cur = v
+			}
 		}
 	}
-	res.Set = x
-	res.Value = d.F(x)
+	res.finish(d.o, x)
 	return res
 }
 
@@ -375,58 +508,6 @@ func ReduceUniverse(d *Decomposition, k int) []int {
 	out = append(out, free...)
 	sortInts(out)
 	return out
-}
-
-// MarginalGreedyKOn runs MarginalGreedyK considering only the elements of
-// universe (original ids); used to verify the Theorem 4 universe
-// reduction.
-func MarginalGreedyKOn(d *Decomposition, k int, universe []int) Result {
-	x := Set{}
-	var y, free []int
-	for _, e := range universe {
-		if d.C[e] > epsCost {
-			y = append(y, e)
-		} else {
-			free = append(free, e)
-		}
-	}
-	res := Result{}
-	for len(y) > 0 && len(x) < k {
-		res.Iterations++
-		bestE, bestR := -1, math.Inf(-1)
-		keepY := y[:0]
-		for _, e := range y {
-			r := d.Ratio(e, x)
-			if r < 1 {
-				res.Pruned++
-				continue
-			}
-			keepY = append(keepY, e)
-			if r > bestR {
-				bestR, bestE = r, e
-			}
-		}
-		y = keepY
-		if bestE < 0 || bestR <= 1 {
-			break
-		}
-		x = x.With(bestE)
-		y = remove(y, bestE)
-	}
-	sortByCost(free, d.C)
-	cur := d.o.Eval(x) // cached across the loop; updated only when x grows
-	for _, e := range free {
-		if len(x) >= k {
-			break
-		}
-		if v := d.o.Eval(x.With(e)); v >= cur {
-			x = x.With(e)
-			cur = v
-		}
-	}
-	res.Set = x
-	res.Value = d.F(x)
-	return res
 }
 
 func remove(xs []int, v int) []int {

@@ -1,0 +1,162 @@
+package submod
+
+import "context"
+
+// StopReason says why a maximization run ended before its natural
+// termination; StopNone marks a complete run.
+type StopReason int
+
+// Stop reasons.
+const (
+	// StopNone: the algorithm ran to its own stopping condition.
+	StopNone StopReason = iota
+	// StopCancelled: the run's context was cancelled.
+	StopCancelled
+	// StopTimeBudget: the run's context deadline (the time budget) passed.
+	StopTimeBudget
+	// StopCallBudget: the oracle-call budget was exhausted.
+	StopCallBudget
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopCancelled:
+		return "cancelled"
+	case StopTimeBudget:
+		return "time-budget"
+	case StopCallBudget:
+		return "call-budget"
+	default:
+		return "unknown"
+	}
+}
+
+// Progress is a per-round report delivered to a Control's OnProgress
+// callback after every completed algorithm round. Callbacks run on the
+// algorithm's goroutine between oracle rounds, so cancelling the run's
+// context from inside one stops the algorithm at a deterministic round.
+type Progress struct {
+	Algorithm   string  // e.g. "MarginalGreedy"
+	Round       int     // 1-based completed round
+	Selected    int     // |X| so far
+	Remaining   int     // candidates still in play
+	OracleCalls int     // memoized-distinct oracle calls so far
+	Best        float64 // f(X) of the current selection
+}
+
+// Control bounds one maximization run. All checks happen between oracle
+// rounds (a round's batch runs to completion unless the context itself is
+// cancelled mid-batch), so a stopped run returns a deterministic
+// best-so-far set: the greedy prefix selected by the completed rounds.
+type Control struct {
+	// Ctx cancels the run; nil means never. Time budgets are expressed as
+	// context deadlines and reported as StopTimeBudget.
+	Ctx context.Context
+	// MaxCalls caps the memoized-distinct oracle calls when HasMaxCalls is
+	// set. Zero with HasMaxCalls set forbids any oracle call: algorithms
+	// return the empty set.
+	MaxCalls    int
+	HasMaxCalls bool
+	// OnProgress, when non-nil, receives a report after every completed
+	// round.
+	OnProgress func(Progress)
+
+	reason StopReason // sticky once a stop condition has been observed
+}
+
+// Reason returns the recorded stop reason (StopNone while running).
+func (c *Control) Reason() StopReason {
+	if c == nil {
+		return StopNone
+	}
+	return c.reason
+}
+
+// SetControl attaches a control to the oracle; nil detaches it.
+func (o *Oracle) SetControl(c *Control) { o.ctrl = c }
+
+// Control returns the attached control (nil when unbounded).
+func (o *Oracle) Control() *Control { return o.ctrl }
+
+// Interrupted reports — stickily — whether the run must stop: the context
+// is done, or the oracle-call budget is spent. Algorithms check it between
+// rounds.
+func (o *Oracle) Interrupted() bool { return o.stopReason() != StopNone }
+
+// StopReason returns why the run stopped (StopNone while unbounded or
+// still running).
+func (o *Oracle) StopReason() StopReason { return o.stopReason() }
+
+func (o *Oracle) stopReason() StopReason {
+	c := o.ctrl
+	if c == nil {
+		return StopNone
+	}
+	if c.reason != StopNone {
+		return c.reason
+	}
+	if c.Ctx != nil {
+		c.reason = CtxStopReason(c.Ctx.Err())
+	}
+	if c.reason == StopNone && c.HasMaxCalls && o.Calls >= c.MaxCalls {
+		c.reason = StopCallBudget
+	}
+	return c.reason
+}
+
+// CtxStopReason classifies a context error as a stop reason: nil maps to
+// StopNone, a deadline to StopTimeBudget, anything else to StopCancelled.
+// It is the single classification rule for every budget check.
+func CtxStopReason(err error) StopReason {
+	switch err {
+	case nil:
+		return StopNone
+	case context.DeadlineExceeded:
+		return StopTimeBudget
+	default:
+		return StopCancelled
+	}
+}
+
+// ctxCancelled reports whether the context alone is done (the mid-batch
+// abort condition: call budgets never cut a round short), recording the
+// reason when it is.
+func (o *Oracle) ctxCancelled() bool {
+	c := o.ctrl
+	if c == nil || c.Ctx == nil || c.Ctx.Err() == nil {
+		return false
+	}
+	if c.reason == StopNone {
+		c.reason = CtxStopReason(c.Ctx.Err())
+	}
+	return true
+}
+
+// markCancelled records a mid-batch abort reported by a BatchFunction,
+// classifying it by the context's error when one is attached.
+func (o *Oracle) markCancelled() {
+	if o.ctrl == nil {
+		return
+	}
+	if !o.ctxCancelled() && o.ctrl.reason == StopNone {
+		o.ctrl.reason = StopCancelled
+	}
+}
+
+// progress emits a per-round report to the control's callback, if any.
+func (o *Oracle) progress(alg string, round, selected, remaining int, best float64) {
+	if o.ctrl == nil || o.ctrl.OnProgress == nil {
+		return
+	}
+	o.ctrl.OnProgress(Progress{
+		Algorithm:   alg,
+		Round:       round,
+		Selected:    selected,
+		Remaining:   remaining,
+		OracleCalls: o.Calls,
+		Best:        best,
+	})
+}

@@ -74,13 +74,13 @@ func (p *ProfittedMaxCoverage) N() int { return len(p.Sets) }
 // Eval returns f(A).
 func (p *ProfittedMaxCoverage) Eval(a Set) float64 {
 	covered := map[int]bool{}
-	for i := range a {
+	a.ForEach(func(i int) {
 		for _, g := range p.Sets[i] {
 			covered[g] = true
 		}
-	}
+	})
 	fm := (p.Gamma + 1) / p.Gamma * float64(len(covered)) / float64(p.GroundN)
-	c := float64(len(a)) / (p.Gamma * float64(p.L))
+	c := float64(a.Len()) / (p.Gamma * float64(p.L))
 	return fm - c
 }
 

@@ -18,6 +18,10 @@ func DoubleGreedy(o *Oracle, shift float64) Result {
 	y := o.Universe() // shrinks from U
 	res := Result{}
 	for e := 0; e < n; e++ {
+		if o.Interrupted() {
+			res.Stopped = o.StopReason()
+			break
+		}
 		res.Iterations++
 		a := (o.Eval(x.With(e)) + shift) - (o.Eval(x) + shift)
 		b := (o.Eval(y.Without(e)) + shift) - (o.Eval(y) + shift)
@@ -27,9 +31,9 @@ func DoubleGreedy(o *Oracle, shift float64) Result {
 			y = y.Without(e)
 		}
 	}
-	// x == y at termination.
-	res.Set = x
-	res.Value = o.Eval(x)
+	// x == y at termination (on an interrupted run x holds the decided
+	// prefix).
+	res.finish(o, x)
 	return res
 }
 

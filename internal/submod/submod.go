@@ -20,76 +20,152 @@ package submod
 
 import (
 	"math"
-	"sort"
+	"math/bits"
 )
 
-// Set is a subset of the universe, represented by element indexes.
-type Set map[int]bool
+// Set is a subset of the universe, represented as a bitset over element
+// indexes. The zero value is the empty set. With/Without return modified
+// copies (the functional style the algorithms use); Add mutates in place.
+// Unlike the earlier map representation, a Set never allocates per element
+// on membership tests and copies in O(universe/64) words, which removes the
+// remaining per-round allocations in the greedy drivers.
+type Set struct {
+	words []uint64
+}
 
 // NewSet builds a set from element indexes.
 func NewSet(elems ...int) Set {
-	s := make(Set, len(elems))
+	var s Set
 	for _, e := range elems {
-		s[e] = true
+		s.Add(e)
 	}
 	return s
 }
 
-// Clone returns a copy of the set.
-func (s Set) Clone() Set {
-	out := make(Set, len(s)+1)
-	for e := range s {
-		out[e] = true
+// Add inserts e, growing the bitset as needed.
+func (s *Set) Add(e int) {
+	w := e >> 6
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
 	}
-	return out
+	s.words[w] |= 1 << uint(e&63)
 }
 
-// With returns a copy with e added.
-func (s Set) With(e int) Set {
-	out := s.Clone()
-	out[e] = true
-	return out
-}
-
-// Without returns a copy with e removed.
-func (s Set) Without(e int) Set {
-	out := s.Clone()
-	delete(out, e)
-	return out
-}
-
-// Sorted returns the elements in increasing order.
-func (s Set) Sorted() []int {
-	out := make([]int, 0, len(s))
-	for e := range s {
-		out = append(out, e)
+// Remove deletes e in place.
+func (s *Set) Remove(e int) {
+	if w := e >> 6; w < len(s.words) {
+		s.words[w] &^= 1 << uint(e&63)
 	}
-	sort.Ints(out)
-	return out
 }
 
-// Equal reports set equality.
-func (s Set) Equal(o Set) bool {
-	if len(s) != len(o) {
-		return false
+// Contains reports membership.
+func (s Set) Contains(e int) bool {
+	w := e >> 6
+	return w < len(s.words) && s.words[w]&(1<<uint(e&63)) != 0
+}
+
+// Len returns the number of elements.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
 	}
-	for e := range s {
-		if !o[e] {
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// Key renders the set canonically for memoization.
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	if len(s.words) == 0 {
+		return Set{}
+	}
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w}
+}
+
+// With returns a copy with e added.
+func (s Set) With(e int) Set {
+	n := len(s.words)
+	if w := e>>6 + 1; w > n {
+		n = w
+	}
+	words := make([]uint64, n)
+	copy(words, s.words)
+	words[e>>6] |= 1 << uint(e&63)
+	return Set{words: words}
+}
+
+// Without returns a copy with e removed.
+func (s Set) Without(e int) Set {
+	out := s.Clone()
+	out.Remove(e)
+	return out
+}
+
+// ForEach calls fn for every element in increasing order.
+func (s Set) ForEach(fn func(e int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Sorted returns the elements in increasing order.
+func (s Set) Sorted() []int {
+	out := make([]int, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			out = append(out, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Equal reports set equality (trailing zero words are insignificant).
+func (s Set) Equal(o Set) bool {
+	a, b := s.words, o.words
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	for _, w := range b[len(a):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders the set canonically for memoization: FNV-1a over the elements
+// in increasing order (the exact hash the map representation used, so
+// memoization behavior is unchanged).
 func (s Set) Key() uint64 {
-	// FNV-1a over the sorted elements.
 	var h uint64 = 1469598103934665603
-	for _, e := range s.Sorted() {
-		v := uint64(e)
-		for i := 0; i < 8; i++ {
-			h ^= (v >> uint(8*i)) & 0xff
-			h *= 1099511628211
+	for wi, w := range s.words {
+		for w != 0 {
+			v := uint64(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+			for i := 0; i < 8; i++ {
+				h ^= (v >> uint(8*i)) & 0xff
+				h *= 1099511628211
+			}
 		}
 	}
 	return h
@@ -104,22 +180,28 @@ type Function interface {
 }
 
 // BatchFunction is an optional Function extension: EvalBatch returns
-// f(S) for every set, and may evaluate them concurrently. Results must be
-// bit-identical to calling Eval on each set — implementations achieve this
-// by keeping every single evaluation sequential and only running distinct
-// evaluations in parallel.
+// f(S) for every set and true, and may evaluate the sets concurrently.
+// Results must be bit-identical to calling Eval on each set —
+// implementations achieve this by keeping every single evaluation
+// sequential and only running distinct evaluations in parallel. When the
+// evaluation context is cancelled mid-batch, implementations return
+// (partial, false); the partial values must not be used.
 type BatchFunction interface {
 	Function
-	EvalBatch(sets []Set) []float64
+	EvalBatch(sets []Set) ([]float64, bool)
 }
 
 // Oracle wraps a Function with memoization and an evaluation counter, so
 // algorithms can be compared by the number of (potentially expensive)
-// oracle calls — in MQO each call is one bestCost optimization.
+// oracle calls — in MQO each call is one bestCost optimization. An
+// optional Control (SetControl) bounds a run by context cancellation and
+// an oracle-call budget; the algorithms check Interrupted between rounds
+// and stop with a deterministic best-so-far set.
 type Oracle struct {
 	F     Function
 	Calls int
 
+	ctrl *Control
 	memo map[uint64]float64
 }
 
@@ -140,12 +222,15 @@ func (o *Oracle) Eval(s Set) float64 {
 	return v
 }
 
-// EvalBatch returns f(S) for every set, memoized. Sets not in the memo are
-// evaluated together — concurrently when the underlying function supports
-// it — so one greedy round costs one batched oracle call. The results (and
-// the memo and call counter afterwards) are identical to evaluating each
-// set with Eval in order.
-func (o *Oracle) EvalBatch(sets []Set) []float64 {
+// EvalBatch returns f(S) for every set, memoized, and true. Sets not in
+// the memo are evaluated together — concurrently when the underlying
+// function supports it — so one greedy round costs one batched oracle
+// call. The results (and the memo and call counter afterwards) are
+// identical to evaluating each set with Eval in order. When the run's
+// context is cancelled mid-batch, EvalBatch memoizes nothing from the
+// batch and returns (nil, false); the caller must stop and fall back to
+// its best-so-far set.
+func (o *Oracle) EvalBatch(sets []Set) ([]float64, bool) {
 	out := make([]float64, len(sets))
 	keys := make([]uint64, len(sets))
 	var missIdx []int
@@ -166,15 +251,30 @@ func (o *Oracle) EvalBatch(sets []Set) []float64 {
 			for j, i := range missIdx {
 				miss[j] = sets[i]
 			}
-			vals := bf.EvalBatch(miss)
+			vals, ok := bf.EvalBatch(miss)
+			if !ok {
+				o.markCancelled()
+				return nil, false
+			}
 			for j, i := range missIdx {
 				o.Calls++
 				o.memo[keys[i]] = vals[j]
 			}
 		} else {
+			// Evaluate into a scratch slice and commit only a complete
+			// batch, so a mid-batch cancellation leaves the memo and call
+			// counter untouched — the same all-or-nothing contract as the
+			// BatchFunction path.
+			vals := make([]float64, 0, len(missIdx))
 			for _, i := range missIdx {
+				if o.ctxCancelled() {
+					return nil, false
+				}
+				vals = append(vals, o.F.Eval(sets[i]))
+			}
+			for j, i := range missIdx {
 				o.Calls++
-				o.memo[keys[i]] = o.F.Eval(sets[i])
+				o.memo[keys[i]] = vals[j]
 			}
 		}
 		// Fill every position (duplicates included) from the memo.
@@ -182,7 +282,7 @@ func (o *Oracle) EvalBatch(sets []Set) []float64 {
 			out[i] = o.memo[keys[i]]
 		}
 	}
-	return out
+	return out, true
 }
 
 // N returns the universe size.
@@ -190,11 +290,18 @@ func (o *Oracle) N() int { return o.F.N() }
 
 // Universe returns the full set.
 func (o *Oracle) Universe() Set {
-	s := make(Set, o.N())
-	for i := 0; i < o.N(); i++ {
-		s[i] = true
+	n := o.N()
+	if n == 0 {
+		return Set{}
 	}
-	return s
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = ^uint64(0)
+	}
+	if r := n & 63; r != 0 {
+		words[len(words)-1] = 1<<uint(r) - 1
+	}
+	return Set{words: words}
 }
 
 // Decomposition is a split f = FM − C with FM monotone submodular and C
@@ -203,20 +310,36 @@ type Decomposition struct {
 	o *Oracle
 	// C holds the additive costs c({e}).
 	C []float64
+	// truncated marks a decomposition whose cost computation was cut off
+	// by the oracle's budget or context; the marginal-greedy algorithms
+	// return an empty best-so-far result instead of consuming it.
+	truncated bool
 }
+
+// Truncated reports whether the decomposition was interrupted before its
+// costs were computed (its C is unusable).
+func (d *Decomposition) Truncated() bool { return d.truncated }
 
 // DecomposeStar computes the Proposition 1 decomposition:
 // c*(e) = f(U∖{e}) − f(U). It uses exactly n+1 oracle calls (for U and
 // each U∖{e}); the n leave-one-out evaluations run as one batched —
-// possibly concurrent — oracle call.
+// possibly concurrent — oracle call. When the oracle's budget is already
+// exhausted (or is cut off mid-batch) the returned decomposition is marked
+// Truncated and carries no costs.
 func DecomposeStar(o *Oracle) *Decomposition {
+	if o.Interrupted() {
+		return &Decomposition{o: o, truncated: true}
+	}
 	u := o.Universe()
 	fu := o.Eval(u)
 	sets := make([]Set, o.N())
 	for e := range sets {
 		sets[e] = u.Without(e)
 	}
-	vals := o.EvalBatch(sets)
+	vals, ok := o.EvalBatch(sets)
+	if !ok {
+		return &Decomposition{o: o, truncated: true}
+	}
 	c := make([]float64, o.N())
 	for e := range c {
 		c[e] = vals[e] - fu
@@ -238,9 +361,7 @@ func (d *Decomposition) F(s Set) float64 { return d.o.Eval(s) }
 // FM returns the monotone part f_M(S) = f(S) + Σ_{e∈S} c(e).
 func (d *Decomposition) FM(s Set) float64 {
 	v := d.o.Eval(s)
-	for e := range s {
-		v += d.C[e]
-	}
+	s.ForEach(func(e int) { v += d.C[e] })
 	return v
 }
 

@@ -9,15 +9,15 @@ import (
 
 func TestSetOps(t *testing.T) {
 	s := NewSet(3, 1, 2)
-	if len(s) != 3 {
+	if s.Len() != 3 {
 		t.Fatalf("NewSet: %v", s)
 	}
 	w := s.With(5)
-	if !w[5] || s[5] {
+	if !w.Contains(5) || s.Contains(5) {
 		t.Error("With must copy")
 	}
 	wo := s.Without(1)
-	if wo[1] || !s[1] {
+	if wo.Contains(1) || !s.Contains(1) {
 		t.Error("Without must copy")
 	}
 	sorted := s.Sorted()
@@ -36,7 +36,7 @@ func TestSetKeyDistinguishes(t *testing.T) {
 		s := Set{}
 		for e := 0; e < 12; e++ {
 			if r.Intn(2) == 0 {
-				s[e] = true
+				s.Add(e)
 			}
 		}
 		k := s.Key()
@@ -66,7 +66,7 @@ func TestOracleMemoizes(t *testing.T) {
 	if o.N() != 8 {
 		t.Errorf("N = %d", o.N())
 	}
-	if len(o.Universe()) != 8 {
+	if o.Universe().Len() != 8 {
 		t.Error("Universe size")
 	}
 }
@@ -95,15 +95,15 @@ func TestCoverageSubmodularQuick(t *testing.T) {
 		for e := 0; e < o.N(); e++ {
 			switch r.Intn(3) {
 			case 0:
-				a[e] = true
-				b[e] = true
+				a.Add(e)
+				b.Add(e)
 			case 1:
-				b[e] = true
+				b.Add(e)
 			}
 		}
 		var outside []int
 		for e := 0; e < o.N(); e++ {
-			if !b[e] {
+			if !b.Contains(e) {
 				outside = append(outside, e)
 			}
 		}
@@ -128,13 +128,11 @@ func TestDecomposeStarIdentity(t *testing.T) {
 		s := Set{}
 		for e := 0; e < o.N(); e++ {
 			if r.Intn(2) == 0 {
-				s[e] = true
+				s.Add(e)
 			}
 		}
 		cS := 0.0
-		for e := range s {
-			cS += d.C[e]
-		}
+		s.ForEach(func(e int) { cS += d.C[e] })
 		if math.Abs(d.FM(s)-cS-d.F(s)) > 1e-9 {
 			t.Fatalf("decomposition identity broken at %v", s.Sorted())
 		}
@@ -150,11 +148,11 @@ func TestDecomposeStarMonotone(t *testing.T) {
 		s := Set{}
 		for e := 0; e < o.N(); e++ {
 			if r.Intn(2) == 0 {
-				s[e] = true
+				s.Add(e)
 			}
 		}
 		e := r.Intn(o.N())
-		if s[e] {
+		if s.Contains(e) {
 			continue
 		}
 		if d.FM(s.With(e)) < d.FM(s)-1e-9 {
@@ -353,8 +351,8 @@ func TestCardinalityRespected(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		d := DecomposeStar(randomInstance(seed, 12))
 		for _, k := range []int{0, 1, 3} {
-			if got := MarginalGreedyK(d, k); len(got.Set) > k {
-				t.Fatalf("seed %d: |X|=%d exceeds k=%d", seed, len(got.Set), k)
+			if got := MarginalGreedyK(d, k); got.Set.Len() > k {
+				t.Fatalf("seed %d: |X|=%d exceeds k=%d", seed, got.Set.Len(), k)
 			}
 		}
 	}
@@ -393,12 +391,12 @@ func TestQuickCoverageEvalConsistency(t *testing.T) {
 		s1, s2 := Set{}, Set{}
 		for e := 0; e < 10; e++ {
 			if mask&(1<<uint(e)) != 0 {
-				s1[e] = true
+				s1.Add(e)
 			}
 		}
 		for e := 9; e >= 0; e-- {
 			if mask&(1<<uint(e)) != 0 {
-				s2[e] = true
+				s2.Add(e)
 			}
 		}
 		return c.Eval(s1) == c.Eval(s2)

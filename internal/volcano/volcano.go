@@ -6,6 +6,8 @@
 package volcano
 
 import (
+	"context"
+
 	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/logical"
@@ -46,6 +48,14 @@ func (o *Optimizer) BestCost(s physical.NodeSet) float64 {
 // bit-identical to sequential BestCost calls in input order.
 func (o *Optimizer) BestCostBatch(sets []physical.NodeSet) []float64 {
 	return o.Searcher.BestCostBatch(sets)
+}
+
+// BestCostBatchCtx is BestCostBatch under a context: once ctx is cancelled
+// no further evaluation starts, ok is false and the partial results must
+// be discarded. The session API routes its cancellation and time budgets
+// through this path.
+func (o *Optimizer) BestCostBatchCtx(ctx context.Context, sets []physical.NodeSet) ([]float64, bool) {
+	return o.Searcher.BestCostBatchCtx(ctx, sets)
 }
 
 // BestUseCost is buc(S): the optimal plan cost when S is already

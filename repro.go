@@ -5,36 +5,64 @@
 // normalized submodular maximization, alongside the Greedy baseline of Roy
 // et al. [SIGMOD 2000] and a stand-alone (no-MQO) Volcano mode.
 //
-// This root package is a thin facade over the implementation packages:
+// # Sessions
+//
+// The public surface is the long-lived Session: construct one per catalog
+// (it fixes the schema statistics, the cost model and the tuning knobs),
+// then call Optimize for every incoming batch. Optimize takes a
+// context.Context and functional options, honors cancellation and budgets
+// between greedy oracle rounds, and returns the chosen materializations,
+// the consolidated physical plan, and run telemetry:
+//
+//	sess, err := repro.NewSession(tpcd.Catalog(1), cost.Default(),
+//		repro.WithStrategy(repro.MarginalGreedy),
+//		repro.WithParallelism(4))
+//	...
+//	res, err := sess.Optimize(ctx, tpcd.BQ(3),
+//		repro.WithTimeBudget(200*time.Millisecond),
+//		repro.WithOracleCallBudget(5000))
+//	...
+//	fmt.Println(res.Cost, res.Telemetry.OracleCalls, res.Telemetry.Stopped)
+//	fmt.Println(res.Plan)
+//
+// A run cut off by its context or a budget returns the deterministic
+// best-so-far materialization set of the completed rounds with
+// Telemetry.Stopped saying why; with no budget set, every strategy is
+// bit-identical to the original one-shot facade.
+//
+// # Migration from the one-shot facade
+//
+//	repro.Optimize(cat, batch, strat)      -> NewSession(cat, cost.Default()) +
+//	                                          Session.Optimize(ctx, batch, WithStrategy(strat))
+//	volcano.NewOptimizer + core.Run        -> core.RunWith(ctx, opt, strat, core.Config{...})
+//	opt.Plan(res.MatSet())                 -> RunResult.Plan (already extracted, Validate() to audit)
+//
+// The old entry points remain as thin shims over the session path.
+//
+// # Implementation packages
 //
 //	internal/catalog     schemas and statistics
 //	internal/logical     query representation and builders
 //	internal/memo        the combined AND-OR DAG (LQDAG) with unification
 //	internal/physical    plan search, physical properties, bestCost(Q,S)
 //	internal/volcano     the optimizer facade
-//	internal/submod      generic UNSM: decomposition, MarginalGreedy, bounds
-//	internal/core        the MQO strategies of the paper's experiments
+//	internal/submod      generic UNSM: decomposition, MarginalGreedy, bounds, budgets
+//	internal/core        the MQO strategies, context/budget plumbing, telemetry
 //	internal/tpcd        the TPCD workload (schema, queries, batches)
 //	internal/workload    seeded synthetic workload generator (stress batches)
-//	internal/exec        iterator-model executor over synthetic data
+//	internal/exec        iterator-model executor, wavefront-parallel materialization
 //	internal/parser      a small SQL-like language for the CLI
 //	internal/experiments the paper's tables and figures, workload stress modes
-//
-// Quick start:
-//
-//	cat := tpcd.Catalog(1)
-//	opt, err := volcano.NewOptimizer(cat, cost.Default(), tpcd.BQ(3))
-//	res := core.Run(opt, core.MarginalGreedy)
-//	plan := opt.Plan(res.MatSet())
 package repro
 
 import (
+	"context"
+
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/logical"
 	"repro/internal/physical"
-	"repro/internal/volcano"
 )
 
 // Strategy selects the MQO algorithm; see internal/core for the full list.
@@ -48,7 +76,7 @@ const (
 )
 
 // Result is an MQO outcome: the chosen materializations, the consolidated
-// cost and the optimization time.
+// cost, the optimization time and the run telemetry.
 type Result = core.Result
 
 // Plan is an extracted consolidated physical plan.
@@ -57,11 +85,17 @@ type Plan = physical.ConsolidatedPlan
 // Optimize runs multi-query optimization over a batch with the paper's
 // cost-model constants and returns the result together with the
 // consolidated plan.
+//
+// Deprecated: Optimize builds a throwaway session per call and cannot be
+// cancelled or budgeted. Use NewSession and Session.Optimize.
 func Optimize(cat *catalog.Catalog, batch *logical.Batch, strategy Strategy) (Result, *Plan, error) {
-	opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+	sess, err := NewSession(cat, cost.Default(), WithStrategy(strategy))
 	if err != nil {
 		return Result{}, nil, err
 	}
-	res := core.Run(opt, strategy)
-	return res, opt.Plan(res.MatSet()), nil
+	r, err := sess.Optimize(context.Background(), batch)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return r.Result, r.Plan, nil
 }

@@ -1,0 +1,235 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/logical"
+	"repro/internal/memo"
+	"repro/internal/submod"
+	"repro/internal/volcano"
+)
+
+// Progress is the per-round report delivered to WithProgress callbacks;
+// cancelling the run's context from inside one stops the optimization at a
+// deterministic round.
+type Progress = submod.Progress
+
+// StopReason says why a run ended early; StopNone marks a complete run.
+type StopReason = submod.StopReason
+
+// Re-exported stop reasons.
+const (
+	StopNone       = submod.StopNone
+	StopCancelled  = submod.StopCancelled
+	StopTimeBudget = submod.StopTimeBudget
+	StopCallBudget = submod.StopCallBudget
+)
+
+// Telemetry is the per-run accounting carried by every Result.
+type Telemetry = core.Telemetry
+
+// config carries the session and per-call knobs; per-call options override
+// the session's defaults.
+type config struct {
+	strategy    Strategy
+	parallelism int
+	timeBudget  time.Duration
+	callBudget  int
+	hasBudget   bool
+	progress    func(Progress)
+	extendedOps bool
+	memoOpts    []memo.Option
+}
+
+// Option configures a Session (defaults for every call) or a single
+// Session.Optimize call.
+type Option func(*config)
+
+// WithStrategy selects the MQO algorithm (default MarginalGreedy).
+func WithStrategy(s Strategy) Option {
+	return func(c *config) { c.strategy = s }
+}
+
+// WithParallelism bounds the worker pool evaluating candidate sets in a
+// greedy round: 0 means GOMAXPROCS, 1 forces sequential evaluation.
+// Results are bit-identical at every setting. (The executor's wavefront
+// workers are the same knob shape but configured separately, on
+// exec.Engine.Parallelism.)
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// WithTimeBudget caps the wall-clock time of the optimization run — the
+// bc(∅) setup, decomposition and greedy search phases — of one Optimize
+// call (0 = none). When it expires the greedy scan stops between oracle
+// rounds and the call returns the best-so-far materialization set with
+// Telemetry.Stopped = StopTimeBudget. DAG construction before the run and
+// plan extraction after it are not covered (both are near-linear in the
+// batch, orders of magnitude below the search; see RunResult.BuildTime and
+// ExtractTime for what they cost).
+func WithTimeBudget(d time.Duration) Option {
+	return func(c *config) { c.timeBudget = d }
+}
+
+// WithOracleCallBudget caps the memoized-distinct mb(S) oracle evaluations
+// the algorithm may spend; n = 0 forbids any, so the strategies return the
+// empty set. Budget exhaustion is checked between rounds, so results are
+// deterministic for a given budget.
+func WithOracleCallBudget(n int) Option {
+	return func(c *config) { c.callBudget, c.hasBudget = n, true }
+}
+
+// WithProgress installs a per-round callback.
+func WithProgress(fn func(Progress)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithExtendedOps enables the extended operator set (hash join, hash
+// aggregation) beyond the paper's rules.
+func WithExtendedOps(on bool) Option {
+	return func(c *config) { c.extendedOps = on }
+}
+
+// WithMemoOptions forwards DAG-construction options (rule ablations) to
+// memo.Build.
+func WithMemoOptions(opts ...memo.Option) Option {
+	return func(c *config) { c.memoOpts = append(c.memoOpts, opts...) }
+}
+
+// SessionStats aggregates telemetry across a session's Optimize calls.
+type SessionStats struct {
+	Batches     int           // Optimize calls completed
+	Interrupted int           // calls stopped by a budget or cancellation
+	OracleCalls int           // total memoized-distinct oracle calls
+	BCCalls     int           // total bestCost invocations
+	BuildTime   time.Duration // DAG construction
+	OptTime     time.Duration // strategy runs
+	ExtractTime time.Duration // consolidated-plan extraction
+}
+
+// Session is a long-lived handle for optimizing many batches against one
+// catalog: it fixes the catalog, the cost model and the tuning knobs
+// (strategy, parallelism, budgets) once, and every Optimize call reuses
+// them while building the batch-specific DAG state per call. Optimize is
+// safe for concurrent use — each call owns its optimizer — and the session
+// aggregates telemetry across calls (Stats).
+type Session struct {
+	cat      *catalog.Catalog
+	model    cost.Model
+	defaults config
+
+	mu    sync.Mutex
+	stats SessionStats
+}
+
+// NewSession creates a session over a catalog and cost model. Options set
+// the defaults applied to every Optimize call; per-call options override
+// them.
+func NewSession(cat *catalog.Catalog, model cost.Model, opts ...Option) (*Session, error) {
+	if cat == nil {
+		return nil, errors.New("repro: nil catalog")
+	}
+	s := &Session{cat: cat, model: model, defaults: config{strategy: MarginalGreedy}}
+	for _, o := range opts {
+		o(&s.defaults)
+	}
+	return s, nil
+}
+
+// RunResult is the outcome of one Session.Optimize call: the strategy
+// result (with telemetry), the extracted consolidated plan, and the
+// call-level phase times.
+type RunResult struct {
+	Result
+	Plan        *Plan
+	BuildTime   time.Duration // combined-DAG construction
+	ExtractTime time.Duration // consolidated-plan extraction
+
+	opt *volcano.Optimizer
+}
+
+// Validate audits the extracted consolidated plan against the cost search
+// (structure, orders, and cost totals).
+func (r *RunResult) Validate() error {
+	return r.opt.Searcher.ValidatePlan(r.Plan, r.MatSet())
+}
+
+// Memo exposes the combined DAG the plan was extracted from; the executor
+// (internal/exec) resolves group properties against it.
+func (r *RunResult) Memo() *memo.Memo { return r.opt.Memo }
+
+// Optimize runs multi-query optimization over one batch. ctx cancels the
+// run between oracle rounds (and between individual evaluations of an
+// in-flight concurrent batch); budgets behave the same way, so an
+// interrupted call still returns a deterministic best-so-far result, its
+// plan, and telemetry explaining where the time went. With no budget set
+// the chosen sets and costs are bit-identical to the one-shot Optimize
+// facade (and to the seed-oracle goldens).
+func (s *Session) Optimize(ctx context.Context, batch *logical.Batch, opts ...Option) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := s.defaults
+	cfg.memoOpts = append([]memo.Option(nil), s.defaults.memoOpts...)
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	buildStart := time.Now()
+	opt, err := volcano.NewOptimizer(s.cat, s.model, batch, cfg.memoOpts...)
+	if err != nil {
+		return nil, err
+	}
+	build := time.Since(buildStart)
+	opt.Searcher.Parallelism = cfg.parallelism
+	if cfg.extendedOps {
+		opt.SetExtendedOps(true)
+	}
+
+	cc := core.Config{
+		TimeBudget:  cfg.timeBudget,
+		Progress:    cfg.progress,
+		Parallelism: cfg.parallelism,
+	}
+	if cfg.hasBudget {
+		cc = cc.LimitOracleCalls(cfg.callBudget)
+	}
+	res := core.RunWith(ctx, opt, cfg.strategy, cc)
+
+	extractStart := time.Now()
+	plan := opt.Plan(res.MatSet())
+	extract := time.Since(extractStart)
+
+	s.mu.Lock()
+	s.stats.Batches++
+	if res.Telemetry.Stopped != StopNone {
+		s.stats.Interrupted++
+	}
+	s.stats.OracleCalls += res.Telemetry.OracleCalls
+	s.stats.BCCalls += res.Telemetry.BCCalls
+	s.stats.BuildTime += build
+	s.stats.OptTime += res.OptTime
+	s.stats.ExtractTime += extract
+	s.mu.Unlock()
+
+	return &RunResult{
+		Result:      res,
+		Plan:        plan,
+		BuildTime:   build,
+		ExtractTime: extract,
+		opt:         opt,
+	}, nil
+}
+
+// Stats returns the telemetry aggregated over the session's calls so far.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,314 @@
+package repro
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/tpcd"
+	"repro/internal/volcano"
+)
+
+// almostEqual absorbs last-ulp differences between a plan's Total (summed
+// per subtree during extraction) and bc(S) (summed by the cost search).
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if b > 1 || b < -1 {
+		if b < 0 {
+			scale = -b
+		} else {
+			scale = b
+		}
+	}
+	return d <= 1e-9*scale
+}
+
+func newTestSession(t *testing.T, opts ...Option) *Session {
+	t.Helper()
+	sess, err := NewSession(tpcd.Catalog(1), cost.Default(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// TestSessionMatchesOneShotAllStrategies pins the sessionized path to the
+// original facade: with no budget set, every strategy must choose the same
+// materializations at the same cost as core.Run — and core.Run itself is
+// pinned bit-for-bit to the seed-oracle goldens by TestOracleParityGolden.
+func TestSessionMatchesOneShotAllStrategies(t *testing.T) {
+	sess := newTestSession(t)
+	batch := tpcd.BQ(2)
+	for _, s := range []Strategy{
+		core.Volcano, core.Greedy, core.LazyGreedyStrategy, core.MarginalGreedy,
+		core.LazyMarginalGreedy, core.MaterializeAll, core.VolcanoSH,
+	} {
+		opt, err := volcano.NewOptimizer(tpcd.Catalog(1), cost.Default(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.Run(opt, s)
+		got, err := sess.Optimize(context.Background(), batch, WithStrategy(s))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if got.Cost != want.Cost {
+			t.Errorf("%v: session cost %v != one-shot %v", s, got.Cost, want.Cost)
+		}
+		if len(got.Materialized) != len(want.Materialized) {
+			t.Fatalf("%v: session set %v != one-shot %v", s, got.Materialized, want.Materialized)
+		}
+		for i := range got.Materialized {
+			if got.Materialized[i] != want.Materialized[i] {
+				t.Fatalf("%v: session set %v != one-shot %v", s, got.Materialized, want.Materialized)
+			}
+		}
+		if got.Telemetry.Stopped != StopNone {
+			t.Errorf("%v: unbudgeted session run reports Stopped=%v", s, got.Telemetry.Stopped)
+		}
+		if got.Plan == nil || !almostEqual(got.Plan.Total, got.Cost) {
+			t.Errorf("%v: plan total %v != cost %v", s, got.Plan.Total, got.Cost)
+		}
+	}
+}
+
+func TestSessionPlanValidates(t *testing.T) {
+	sess := newTestSession(t, WithParallelism(2))
+	r, err := sess.Optimize(context.Background(), tpcd.BQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("extracted plan failed validation: %v", err)
+	}
+	if len(r.Plan.QueryNames) != len(tpcd.BQ(3).Queries) {
+		t.Errorf("plan covers %d queries, batch has %d", len(r.Plan.QueryNames), len(tpcd.BQ(3).Queries))
+	}
+	if r.BuildTime <= 0 || r.ExtractTime < 0 {
+		t.Errorf("phase times: build %v extract %v", r.BuildTime, r.ExtractTime)
+	}
+}
+
+// TestSessionCancelDeterministic cancels MarginalGreedy from the progress
+// callback after its second round, twice; both runs must stop at the same
+// round with the same best-so-far set (same seed ⇒ same set).
+func TestSessionCancelDeterministic(t *testing.T) {
+	run := func() *RunResult {
+		sess := newTestSession(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		r, err := sess.Optimize(ctx, tpcd.BQ(4),
+			WithStrategy(core.MarginalGreedy),
+			WithProgress(func(p Progress) {
+				if p.Round == 2 {
+					cancel()
+				}
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Telemetry.Stopped != StopCancelled {
+		t.Fatalf("Stopped = %v, want %v", a.Telemetry.Stopped, StopCancelled)
+	}
+	if len(a.Materialized) != 2 {
+		t.Errorf("cancelled after round 2 kept %d materializations", len(a.Materialized))
+	}
+	if len(a.Materialized) != len(b.Materialized) || a.Cost != b.Cost {
+		t.Fatalf("cancellation nondeterministic: %v/%v vs %v/%v",
+			a.Materialized, a.Cost, b.Materialized, b.Cost)
+	}
+	for i := range a.Materialized {
+		if a.Materialized[i] != b.Materialized[i] {
+			t.Fatalf("cancellation nondeterministic: %v vs %v", a.Materialized, b.Materialized)
+		}
+	}
+	// The best-so-far prefix must be a subset of the full run's choices
+	// and price below the no-MQO baseline.
+	full, err := newTestSession(t).Optimize(context.Background(), tpcd.BQ(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSet := map[int64]bool{}
+	for _, id := range full.Materialized {
+		fullSet[int64(id)] = true
+	}
+	for _, id := range a.Materialized {
+		if !fullSet[int64(id)] {
+			t.Errorf("prefix picked %d, which the full run never materializes", id)
+		}
+	}
+	if a.Cost > a.VolcanoCost {
+		t.Errorf("best-so-far cost %v above no-MQO %v", a.Cost, a.VolcanoCost)
+	}
+	if !almostEqual(a.Plan.Total, a.Cost) {
+		t.Errorf("best-so-far plan total %v != cost %v", a.Plan.Total, a.Cost)
+	}
+}
+
+// TestBudgetZeroOracleCallsViaSession: a zero oracle-call budget returns
+// the empty set plus populated telemetry without any algorithm oracle
+// spend.
+func TestBudgetZeroOracleCallsViaSession(t *testing.T) {
+	sess := newTestSession(t)
+	r, err := sess.Optimize(context.Background(), tpcd.BQ(2), WithOracleCallBudget(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Materialized) != 0 || len(r.Plan.Steps) != 0 {
+		t.Errorf("zero budget materialized %v (plan steps %d)", r.Materialized, len(r.Plan.Steps))
+	}
+	if r.Telemetry.Stopped != StopCallBudget || r.Telemetry.OracleCalls != 0 {
+		t.Errorf("telemetry %+v, want StopCallBudget with 0 oracle calls", r.Telemetry)
+	}
+	if r.Cost != r.VolcanoCost || !almostEqual(r.Plan.Total, r.Cost) {
+		t.Errorf("empty set must price at bc(∅): cost %v, bc(∅) %v, plan %v",
+			r.Cost, r.VolcanoCost, r.Plan.Total)
+	}
+	if r.Telemetry.TotalTime <= 0 || r.Telemetry.BCCalls <= 0 {
+		t.Errorf("telemetry not populated: %+v", r.Telemetry)
+	}
+}
+
+// TestBudgetOracleCallsDeterministic: the same budget yields the same set
+// on repeated runs, and a generous budget reproduces the unbudgeted
+// answer.
+func TestBudgetOracleCallsDeterministic(t *testing.T) {
+	sess := newTestSession(t)
+	batch := tpcd.BQ(3)
+	full, err := sess.Optimize(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{10, 50, 1 << 20} {
+		var sets [][]int64
+		for i := 0; i < 2; i++ {
+			r, err := sess.Optimize(context.Background(), batch, WithOracleCallBudget(budget))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids := make([]int64, len(r.Materialized))
+			for j, id := range r.Materialized {
+				ids[j] = int64(id)
+			}
+			sets = append(sets, ids)
+			if budget >= 1<<20 {
+				if r.Telemetry.Stopped != StopNone || r.Cost != full.Cost {
+					t.Errorf("budget %d truncated the run: %+v", budget, r.Telemetry)
+				}
+			}
+		}
+		if len(sets[0]) != len(sets[1]) {
+			t.Fatalf("budget %d nondeterministic: %v vs %v", budget, sets[0], sets[1])
+		}
+		for j := range sets[0] {
+			if sets[0][j] != sets[1][j] {
+				t.Fatalf("budget %d nondeterministic: %v vs %v", budget, sets[0], sets[1])
+			}
+		}
+	}
+}
+
+func TestSessionTimeBudgetStops(t *testing.T) {
+	sess := newTestSession(t)
+	r, err := sess.Optimize(context.Background(), tpcd.BQ(4), WithTimeBudget(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Telemetry.Stopped != StopTimeBudget {
+		t.Fatalf("Stopped = %v, want %v", r.Telemetry.Stopped, StopTimeBudget)
+	}
+	if r.Cost > r.VolcanoCost {
+		t.Errorf("best-so-far cost %v above no-MQO %v", r.Cost, r.VolcanoCost)
+	}
+	if !almostEqual(r.Plan.Total, r.Cost) {
+		t.Errorf("plan total %v != cost %v", r.Plan.Total, r.Cost)
+	}
+}
+
+func TestSessionStatsAggregate(t *testing.T) {
+	sess := newTestSession(t)
+	if _, err := sess.Optimize(context.Background(), tpcd.BQ(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Optimize(context.Background(), tpcd.BQ(2), WithOracleCallBudget(0)); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Batches != 2 || st.Interrupted != 1 {
+		t.Errorf("stats %+v, want 2 batches with 1 interrupted", st)
+	}
+	if st.OracleCalls <= 0 || st.BCCalls <= 0 || st.BuildTime <= 0 {
+		t.Errorf("stats not aggregated: %+v", st)
+	}
+}
+
+// TestSessionConcurrentOptimize exercises concurrent Optimize calls on one
+// session (each call owns its DAG; the shared state is only the stats).
+func TestSessionConcurrentOptimize(t *testing.T) {
+	sess := newTestSession(t, WithParallelism(2))
+	const n = 4
+	costs := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := sess.Optimize(context.Background(), tpcd.BQ(2))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			costs[i] = r.Cost
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if costs[i] != costs[0] {
+			t.Fatalf("concurrent runs diverged: %v", costs)
+		}
+	}
+	if st := sess.Stats(); st.Batches != n {
+		t.Errorf("stats recorded %d batches, want %d", st.Batches, n)
+	}
+}
+
+func TestSessionProgressReports(t *testing.T) {
+	sess := newTestSession(t)
+	var rounds []int
+	_, err := sess.Optimize(context.Background(), tpcd.BQ(2),
+		WithProgress(func(p Progress) { rounds = append(rounds, p.Round) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("no progress reports")
+	}
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i] != rounds[i-1]+1 {
+			t.Fatalf("rounds not consecutive: %v", rounds)
+		}
+	}
+}
+
+func TestSessionNilCatalogRejected(t *testing.T) {
+	if _, err := NewSession(nil, cost.Default()); err == nil {
+		t.Error("nil catalog accepted")
+	}
+}
+
+func TestSessionInvalidBatchRejected(t *testing.T) {
+	sess := newTestSession(t)
+	if _, err := sess.Optimize(context.Background(), nil); err == nil {
+		t.Error("nil batch accepted")
+	}
+}

@@ -124,11 +124,18 @@ func (c Config) OracleCallLimit() (int, bool) { return c.maxCalls, c.hasMaxCalls
 type Telemetry struct {
 	OracleCalls  int     // memoized-distinct mb(S) evaluations
 	BCCalls      int     // bestCost invocations during the run
-	CacheHits    int     // cross-call cache hits during the run
+	CacheHits    int     // worker-private (L1) cross-call cache hits
+	SharedHits   int     // SharedCache (L2) hits during the run
 	ComputedKeys int     // fresh (group, order, mask) computations
-	CacheHitRate float64 // CacheHits / (CacheHits + ComputedKeys)
+	CacheHitRate float64 // (CacheHits+SharedHits) / (hits + ComputedKeys)
 	Rounds       int     // completed greedy rounds (selections for lazy)
 	Pruned       int     // Section 5.1 permanent prunes
+	// Stale counts stale-bound re-evaluations the lazy scan performed;
+	// Reused counts marginals carried exactly across a selection by the
+	// dirty-candidate tracking (work the scan provably avoided). Both are
+	// zero for eager strategies. See submod.Result.
+	Stale  int
+	Reused int
 	// Stopped records why the run ended early; StopNone for a complete
 	// run. A stopped run's materialization set is the deterministic
 	// best-so-far selection of the completed rounds.
@@ -212,22 +219,31 @@ func (f *BenefitFunc) Eval(s submod.Set) float64 {
 
 // EvalBatch returns mb(S) for every set, evaluating the underlying
 // bestCost oracle calls concurrently (one per worker context). When the
-// attached context is cancelled mid-batch it reports ok=false and the
-// partial results must be discarded.
+// attached context is cancelled mid-batch it reports ok=false together
+// with the completed prefix of the benefits (possibly empty) — exact,
+// deterministic values the caller may commit, per the
+// submod.BatchFunction contract.
 func (f *BenefitFunc) EvalBatch(sets []submod.Set) ([]float64, bool) {
 	mats := make([]physical.NodeSet, len(sets))
 	for i, s := range sets {
 		mats[i] = f.toNodeSet(s)
 	}
 	costs, ok := f.Opt.Searcher.BestCostBatchCtx(f.ctx, mats)
-	if !ok {
-		return nil, false
-	}
-	out := make([]float64, len(sets))
+	out := make([]float64, len(costs))
 	for i, c := range costs {
 		out[i] = f.base - c
 	}
-	return out, true
+	return out, ok
+}
+
+// Interacts reports whether materializing node x can change node e's
+// marginal benefit: true exactly when some query root's cone contains
+// both nodes (physical.Searcher.SharesQueryRoot). It implements
+// submod.InteractionFunction, letting the lazy greedy drivers carry
+// marginals of provably untouched candidates across selections without
+// re-evaluating them.
+func (f *BenefitFunc) Interacts(e, x int) bool {
+	return f.Opt.Searcher.SharesQueryRoot(f.Nodes[e], f.Nodes[x])
 }
 
 // ToNodes converts an element set to group ids (sorted by element index).
@@ -266,7 +282,7 @@ func RunWith(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Co
 		return runVolcanoSH(ctx, opt, cfg)
 	}
 	start := nowFunc()
-	bc0, hit0, key0 := opt.Searcher.BCCalls, opt.Searcher.CacheHits, opt.Searcher.ComputedKey
+	bc0, hit0, sh0, key0 := opt.Searcher.BCCalls, opt.Searcher.CacheHits, opt.Searcher.SharedHits, opt.Searcher.ComputedKey
 	f := NewBenefitFuncCtx(ctx, opt)
 	oracle := submod.NewOracle(f)
 	oracle.SetControl(&submod.Control{
@@ -322,9 +338,12 @@ func RunWith(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Co
 		OracleCalls:  oracle.Calls,
 		BCCalls:      opt.Searcher.BCCalls - bc0,
 		CacheHits:    opt.Searcher.CacheHits - hit0,
+		SharedHits:   opt.Searcher.SharedHits - sh0,
 		ComputedKeys: opt.Searcher.ComputedKey - key0,
 		Rounds:       r.Iterations,
 		Pruned:       r.Pruned,
+		Stale:        r.Stale,
+		Reused:       r.Reused,
 		Stopped:      r.Stopped,
 		SetupTime:    setupEnd.Sub(start),
 		SearchTime:   searchEnd.Sub(setupEnd),
@@ -336,8 +355,8 @@ func RunWith(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Co
 }
 
 func (t *Telemetry) fillHitRate() {
-	if n := t.CacheHits + t.ComputedKeys; n > 0 {
-		t.CacheHitRate = float64(t.CacheHits) / float64(n)
+	if n := t.CacheHits + t.SharedHits + t.ComputedKeys; n > 0 {
+		t.CacheHitRate = float64(t.CacheHits+t.SharedHits) / float64(n)
 	}
 }
 
@@ -371,6 +390,8 @@ func RunK(opt *volcano.Optimizer, k int, reduce bool) Result {
 		OracleCalls: oracle.Calls,
 		Rounds:      r.Iterations,
 		Pruned:      r.Pruned,
+		Stale:       r.Stale,
+		Reused:      r.Reused,
 		Stopped:     r.Stopped,
 		TotalTime:   res.OptTime,
 	}

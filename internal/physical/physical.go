@@ -39,25 +39,37 @@
 // Materialization sets are Bitsets indexed by shareable-node slot (see
 // memo.ShareIndex); NodeSet wraps one with the index needed to translate
 // group ids. Per-call memo tables are flat epoch-stamped arrays indexed by
-// (group, order id) that are reset in O(1) by bumping the epoch, and the
-// cross-call cache is keyed by the pure value struct
-// {group, order id, compute, mask hash}.
+// (group, order id) that are reset in O(1) by bumping the epoch.
+//
+// # Cross-call caching
+//
+// The Section 5.1 incremental cache is keyed by the pure value
+// {group, order id, compute, mask hash} and layered: each worker owns a
+// lock-free private L1 — bucketed by (group, order) slot, keyed inside
+// the bucket by the 8-byte mask hash, with a 1-entry direct-mapped front
+// per slot that exploits the mask locality of consecutive greedy
+// candidates — and an optionally attached SharedCache is the lock-striped
+// L2 whose hits are promoted into the L1. Fresh values are published to
+// the L2 in bulk (PublishCache), never from the evaluation hot path.
+// repro.Session owns one SharedCache per session, so identical batches
+// start warm; entries are namespaced by the searcher's structural
+// fingerprint and operator flags, which is why ClearCache only resets the
+// private L1s — a flag toggle moves to a disjoint namespace on its own.
 //
 // # Concurrency contract
 //
 // After construction all compiled structures are immutable. Mutable
-// per-evaluation state (scratch tables, the cross-call cache, stat
+// per-evaluation state (scratch tables, the private L1 cache, stat
 // counters) lives in per-worker contexts: sequential entry points
 // (BestCost, BestUseCost, BestPlan, ValidatePlan) share worker 0 and are
 // not safe for concurrent use, while BestCostBatch evaluates many
-// materialization sets concurrently on up to Parallelism workers, each
-// with a private scratch context and private cross-call cache. Costs are
-// pure functions of (memo, set), so batch results are bit-identical to
-// sequential evaluation regardless of scheduling. The flags may only be
-// toggled between evaluations, never during a concurrent batch — and
-// because cached cross-call costs are priced under the flags in effect
-// when they were computed, toggling ExtendedOps or MatOrders requires a
-// ClearCache call (the volcano.Optimizer setters do this).
+// materialization sets concurrently on up to Parallelism workers. Costs
+// are pure functions of (memo, set), so batch results are bit-identical
+// to sequential evaluation regardless of scheduling — and SharedCache
+// reads/merges never change a value, only how often it is recomputed. The
+// flags may only be toggled between evaluations, never during a
+// concurrent batch, and a toggle requires a ClearCache call (the
+// volcano.Optimizer setters do this).
 package physical
 
 import (
@@ -226,19 +238,29 @@ type Searcher struct {
 	readArr   []float64 // MaterializeReadCost per group
 	writeArr  []float64 // MaterializeWriteCost per group
 	numOrds   int
+	// rootMask[slot] is the bitset of query roots whose cone contains the
+	// shareable node at slot; words are ceil(len(QueryRoots)/64).
+	rootMask  [][]uint64
+	rootWords int
+	structSum uint64 // structural fingerprint of the compiled search space
 
 	workers []*worker
 	ordIdx  map[string]ordID // construction only
+	shared  *SharedCache     // cross-worker / cross-searcher L2 cache
 
 	// Stats.
 	BCCalls      int // bestCost invocations
-	CacheHits    int
+	CacheHits    int // worker-private (L1) cross-call cache hits
+	SharedHits   int // SharedCache (L2) hits promoted into a worker L1
 	ComputedKey  int // fresh (group, order, mask) computations
 	ExtractCalls int // plan-extraction node resolutions (BestPlan)
 }
 
 // NewSearcher returns a searcher over the given memo with the incremental
-// cache and materialized-order handling enabled.
+// cache and materialized-order handling enabled, and no SharedCache
+// attached: workers keep purely private caches (zero synchronization on
+// the hot path). A longer-lived owner attaches its cache with
+// AttachSharedCache (repro.Session does).
 func NewSearcher(m *memo.Memo) *Searcher {
 	s := &Searcher{
 		M:           m,
@@ -252,13 +274,17 @@ func NewSearcher(m *memo.Memo) *Searcher {
 
 // ResetStats clears the counters (not the cache).
 func (s *Searcher) ResetStats() {
-	s.BCCalls, s.CacheHits, s.ComputedKey, s.ExtractCalls = 0, 0, 0, 0
+	s.BCCalls, s.CacheHits, s.SharedHits, s.ComputedKey, s.ExtractCalls = 0, 0, 0, 0, 0
 }
 
-// ClearCache drops the cross-call caches of every worker.
+// ClearCache drops the worker-private cross-call caches. An attached
+// SharedCache is left alone: its entries are namespaced by the structural
+// fingerprint and the operator flags (cacheNS), so a flag toggle moves to
+// a disjoint namespace and stale values can never be observed. Call
+// SharedCache.Invalidate for an explicit full flush.
 func (s *Searcher) ClearCache() {
 	for _, w := range s.workers {
-		w.cache = map[cacheKey]float64{}
+		w.resetL1()
 	}
 }
 
@@ -309,8 +335,51 @@ func (s *Searcher) prepare() {
 		}
 		s.sat[i] = row
 	}
+	s.fillRootMasks()
+	s.structSum = s.structHash()
 	s.ordIdx = nil // registry is sealed
 	s.workers = []*worker{s.newWorker()}
+}
+
+// fillRootMasks computes, for every shareable slot, the bitset of query
+// roots whose cone contains it — the structural reach the dirty-candidate
+// pruning tests against (SharesQueryRoot).
+func (s *Searcher) fillRootMasks() {
+	s.rootWords = (len(s.M.QueryRoots) + 63) / 64
+	s.rootMask = make([][]uint64, s.SI.Len())
+	words := make([]uint64, s.SI.Len()*s.rootWords) // one backing array
+	for i := range s.rootMask {
+		s.rootMask[i] = words[i*s.rootWords : (i+1)*s.rootWords]
+	}
+	for ri, r := range s.M.QueryRoots {
+		for wi, wv := range s.desc[r] {
+			for wv != 0 {
+				slot := wi*64 + bits.TrailingZeros64(wv)
+				wv &= wv - 1
+				s.rootMask[slot][ri>>6] |= 1 << uint(ri&63)
+			}
+		}
+	}
+}
+
+// SharesQueryRoot reports whether some query root's cone contains both
+// groups. When it does not, no consumer's cost path can ever see both
+// nodes, so materializing one provably cannot change the other's marginal
+// benefit — the exactness test behind the dirty-candidate lazy greedy
+// (submod.InteractionFunction). Non-shareable groups conservatively report
+// true. Safe for concurrent use after construction.
+func (s *Searcher) SharesQueryRoot(a, b memo.GroupID) bool {
+	sa, sb := s.slot[a], s.slot[b]
+	if sa < 0 || sb < 0 {
+		return true
+	}
+	ma, mb := s.rootMask[sa], s.rootMask[sb]
+	for i := range ma {
+		if ma[i]&mb[i] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // intern registers an order and returns its id; construction-time only.
@@ -350,8 +419,29 @@ func (s *Searcher) depth(g memo.GroupID) int { return int(s.depths[g]) }
 // cross-call cache. Sequential entry points use worker 0; BestCostBatch
 // uses one worker per goroutine.
 type worker struct {
-	s     *Searcher
-	cache map[cacheKey]float64
+	s *Searcher
+
+	// Private L1 cross-call cache. Entries are bucketed by the (group,
+	// order) slot — the same int(g)*numOrds+ord index the scratch tables
+	// use — and keyed inside the bucket by the 8-byte mask hash alone,
+	// which keeps every map small and its key cheap to hash. A 1-entry
+	// direct-mapped front cache per slot (mask1/val1) exploits the scan
+	// locality of greedy rounds: consecutive candidate sets leave most
+	// groups' mask restrictions untouched, so the common case is two
+	// loads and a compare instead of any map probe. Misses fall through
+	// to s.shared. (A single flat map[cacheKey]float64 was profiled at
+	// ~70% of optimization wall time on the 256-query workloads — large-
+	// map probing, 24-byte key hashing and growth rehashes — which this
+	// layout eliminates.)
+	useMask1  []uint64 // last-seen mask per slot; maskNone when empty
+	useVal1   []float64
+	compMask1 []uint64
+	compVal1  []float64
+	useL1     []map[uint64]float64 // per-slot mask -> use cost (lazily allocated)
+	compL1    []map[uint64]float64
+
+	ns          uint64 // SharedCache namespace for the current call's flags
+	sharedEpoch uint64 // SharedCache epoch the L1 was filled under
 
 	epoch     uint32
 	bits      memo.Bitset // current materialization set
@@ -365,14 +455,18 @@ type worker struct {
 	mhEp      []uint32
 	matIDs    []memo.GroupID // scratch for stored-order initialization
 
-	bcCalls, cacheHits, computedKey, extractCalls int
+	bcCalls, cacheHits, sharedHits, computedKey, extractCalls int
 }
+
+// maskNone marks an empty front-cache slot. A real mask hash colliding
+// with it is as unlikely as any other 64-bit mask-hash collision, which
+// the Section 5.1 cache already accepts.
+const maskNone = ^uint64(0)
 
 func (s *Searcher) newWorker() *worker {
 	n := s.M.NumGroups()
-	return &worker{
+	w := &worker{
 		s:         s,
-		cache:     map[cacheKey]float64{},
 		bits:      s.SI.NewMatSet(),
 		useVal:    make([]float64, n*s.numOrds),
 		useEp:     make([]uint32, n*s.numOrds),
@@ -384,6 +478,108 @@ func (s *Searcher) newWorker() *worker {
 		mhEp:      make([]uint32, n),
 		matIDs:    make([]memo.GroupID, 0, 64),
 	}
+	w.resetL1()
+	return w
+}
+
+// resetL1 drops the worker's private cross-call cache.
+func (w *worker) resetL1() {
+	n := w.s.M.NumGroups() * w.s.numOrds
+	w.useMask1 = make([]uint64, n)
+	w.useVal1 = make([]float64, n)
+	w.compMask1 = make([]uint64, n)
+	w.compVal1 = make([]float64, n)
+	for i := range w.useMask1 {
+		w.useMask1[i] = maskNone
+		w.compMask1[i] = maskNone
+	}
+	w.useL1 = make([]map[uint64]float64, n)
+	w.compL1 = make([]map[uint64]float64, n)
+}
+
+// syncShared refreshes the worker's view of the attached SharedCache: the
+// flag namespace, and — after an Invalidate — the private L1, which may
+// hold entries the invalidation was meant to flush.
+func (w *worker) syncShared() {
+	s := w.s
+	if s.shared == nil {
+		return
+	}
+	w.ns = s.cacheNS()
+	if ep := s.shared.epoch.Load(); ep != w.sharedEpoch {
+		w.sharedEpoch = ep
+		w.resetL1()
+	}
+}
+
+// cachedUse consults the cache levels for a use-cost key: front cache,
+// bucket map, then the SharedCache (whose hits are promoted so each
+// shared key pays its read lock at most once per worker). Fresh values go
+// only to the L1 — PublishCache merges them into the SharedCache in bulk,
+// keeping the hot path free of per-key locking.
+func (w *worker) cachedUse(g memo.GroupID, ord ordID, idx int, mask uint64) (float64, bool) {
+	if w.useMask1[idx] == mask {
+		w.cacheHits++
+		return w.useVal1[idx], true
+	}
+	if v, ok := w.useL1[idx][mask]; ok {
+		w.cacheHits++
+		w.useMask1[idx] = mask
+		w.useVal1[idx] = v
+		return v, true
+	}
+	if sh := w.s.shared; sh != nil {
+		if v, ok := sh.get(w.ns, cacheKey{g: g, ord: ord, compute: false, mask: mask}); ok {
+			w.sharedHits++
+			w.storeUse(idx, mask, v)
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (w *worker) storeUse(idx int, mask uint64, v float64) {
+	w.useMask1[idx] = mask
+	w.useVal1[idx] = v
+	m := w.useL1[idx]
+	if m == nil {
+		m = make(map[uint64]float64, 4)
+		w.useL1[idx] = m
+	}
+	m[mask] = v
+}
+
+// cachedComp is cachedUse for compute-cost keys.
+func (w *worker) cachedComp(g memo.GroupID, ord ordID, idx int, mask uint64) (float64, bool) {
+	if w.compMask1[idx] == mask {
+		w.cacheHits++
+		return w.compVal1[idx], true
+	}
+	if v, ok := w.compL1[idx][mask]; ok {
+		w.cacheHits++
+		w.compMask1[idx] = mask
+		w.compVal1[idx] = v
+		return v, true
+	}
+	if sh := w.s.shared; sh != nil {
+		if v, ok := sh.get(w.ns, cacheKey{g: g, ord: ord, compute: true, mask: mask}); ok {
+			w.sharedHits++
+			w.storeComp(idx, mask, v)
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (w *worker) storeComp(idx int, mask uint64, v float64) {
+	w.compMask1[idx] = mask
+	w.compVal1[idx] = v
+	m := w.compL1[idx]
+	if m == nil {
+		m = make(map[uint64]float64, 4)
+		w.compL1[idx] = m
+	}
+	m[mask] = v
 }
 
 // worker returns the i-th worker, growing the pool on demand.
@@ -399,9 +595,10 @@ func (s *Searcher) worker(i int) *worker {
 func (w *worker) flushStats() {
 	w.s.BCCalls += w.bcCalls
 	w.s.CacheHits += w.cacheHits
+	w.s.SharedHits += w.sharedHits
 	w.s.ComputedKey += w.computedKey
 	w.s.ExtractCalls += w.extractCalls
-	w.bcCalls, w.cacheHits, w.computedKey, w.extractCalls = 0, 0, 0, 0
+	w.bcCalls, w.cacheHits, w.sharedHits, w.computedKey, w.extractCalls = 0, 0, 0, 0, 0
 }
 
 // initCall resets the per-call scratch state for a new materialization set
@@ -409,6 +606,7 @@ func (w *worker) flushStats() {
 // dependency (depth) order, so a node's compute plan can already exploit
 // the materializations below it.
 func (w *worker) initCall(mat memo.Bitset) {
+	w.syncShared()
 	w.epoch++
 	if w.epoch == 0 { // wrapped: stamps are ambiguous, hard-reset
 		for i := range w.useEp {
@@ -520,10 +718,15 @@ func (s *Searcher) BestCostBatch(mats []NodeSet) []float64 {
 
 // BestCostBatchCtx is BestCostBatch under a context: once ctx is cancelled
 // no further evaluation starts (a bc(S) evaluation already underway runs
-// to completion — cancellation granularity is one oracle call). It then
-// returns ok=false and the partially filled costs, which the caller must
-// discard; with a nil or undone context results are complete, in input
-// order, and bit-identical to sequential BestCost calls.
+// to completion — cancellation granularity is one oracle call). On abort
+// it returns ok=false together with the completed prefix of the results —
+// costs[:k] such that every evaluation before the first unevaluated set
+// finished. Each value in the prefix is the exact, deterministic bc(S) of
+// its set, so a budget-interrupted round can commit them (e.g. memoize
+// best-so-far candidates) without any risk to determinism; only how much
+// of the batch survives depends on timing. With a nil or undone context
+// results are complete, in input order, and bit-identical to sequential
+// BestCost calls.
 func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs []float64, ok bool) {
 	out := make([]float64, len(mats))
 	par := s.Parallelism
@@ -549,19 +752,25 @@ func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs 
 	}
 	if par <= 1 {
 		w := s.worker(0)
+		done := 0
 		for i, m := range mats {
 			if cancelled() {
 				break
 			}
 			out[i] = s.bestCostOn(w, m.bits)
+			done = i + 1
 		}
 		w.flushStats()
-		return out, aborted == 0
+		if aborted != 0 {
+			return out[:done], false
+		}
+		return out, true
 	}
 	workers := make([]*worker, par)
 	for k := range workers {
 		workers[k] = s.worker(k)
 	}
+	completed := make([]uint32, len(mats))
 	var next int64 = -1
 	var wg sync.WaitGroup
 	for k := 0; k < par; k++ {
@@ -577,6 +786,7 @@ func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs 
 					return
 				}
 				out[i] = s.bestCostOn(w, mats[i].bits)
+				atomic.StoreUint32(&completed[i], 1)
 			}
 		}(workers[k])
 	}
@@ -584,7 +794,14 @@ func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs 
 	for _, w := range workers {
 		w.flushStats()
 	}
-	return out, atomic.LoadInt32(&aborted) == 0
+	if atomic.LoadInt32(&aborted) != 0 {
+		done := 0
+		for done < len(completed) && completed[done] == 1 {
+			done++
+		}
+		return out[:done], false
+	}
+	return out, true
 }
 
 // BestUseCost is buc(S): the cost of the optimal plan that may exploit S
@@ -608,11 +825,10 @@ func (w *worker) useCost(g memo.GroupID, ord ordID) float64 {
 	if w.useEp[idx] == w.epoch {
 		return w.useVal[idx]
 	}
-	var ck cacheKey
+	var mask uint64
 	if s.Incremental {
-		ck = cacheKey{g: g, ord: ord, compute: false, mask: w.maskHash(g)}
-		if v, ok := w.cache[ck]; ok {
-			w.cacheHits++
+		mask = w.maskHash(g)
+		if v, ok := w.cachedUse(g, ord, idx, mask); ok {
 			w.useVal[idx] = v
 			w.useEp[idx] = w.epoch
 			return v
@@ -627,7 +843,7 @@ func (w *worker) useCost(g memo.GroupID, ord ordID) float64 {
 	w.useVal[idx] = v
 	w.useEp[idx] = w.epoch
 	if s.Incremental {
-		w.cache[ck] = v
+		w.storeUse(idx, mask, v)
 	}
 	return v
 }
@@ -658,11 +874,10 @@ func (w *worker) compute(g memo.GroupID, ord ordID) float64 {
 	}
 	w.compVal[idx] = inf // guard against accidental cycles
 	w.compEp[idx] = w.epoch
-	var ck cacheKey
+	var mask uint64
 	if s.Incremental {
-		ck = cacheKey{g: g, ord: ord, compute: true, mask: w.maskHash(g)}
-		if v, ok := w.cache[ck]; ok {
-			w.cacheHits++
+		mask = w.maskHash(g)
+		if v, ok := w.cachedComp(g, ord, idx, mask); ok {
 			w.compVal[idx] = v
 			return v
 		}
@@ -682,7 +897,7 @@ func (w *worker) compute(g memo.GroupID, ord ordID) float64 {
 	}
 	w.compVal[idx] = best
 	if s.Incremental {
-		w.cache[ck] = best
+		w.storeComp(idx, mask, best)
 	}
 	return best
 }

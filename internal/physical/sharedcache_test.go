@@ -1,0 +1,178 @@
+package physical
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSharedCacheWarmStartAcrossSearchers: two searchers compiled from
+// equal memos share one cache; after the first publishes, the second
+// prices the same sets bit-identically while hitting the shared tier.
+func TestSharedCacheWarmStartAcrossSearchers(t *testing.T) {
+	s1 := buildSearcher(t, sharedPairQueries()...)
+	s2 := buildSearcher(t, sharedPairQueries()...)
+	if s1.structHash() != s2.structHash() {
+		t.Fatal("equal batches compiled to different struct hashes")
+	}
+	cache := NewSharedCache()
+	s1.AttachSharedCache(cache)
+	s2.AttachSharedCache(cache)
+
+	sh := s1.M.Shareable()
+	var want []float64
+	for _, id := range sh {
+		want = append(want, s1.BestCost(s1.NewNodeSet(id)))
+	}
+	s1.PublishCache()
+	if cache.Len() == 0 {
+		t.Fatal("publish left the shared cache empty")
+	}
+
+	s2.ResetStats()
+	for i, id := range sh {
+		if got := s2.BestCost(s2.NewNodeSet(id)); got != want[i] {
+			t.Errorf("warm cost %d: %v != cold %v", i, got, want[i])
+		}
+	}
+	if s2.SharedHits == 0 {
+		t.Error("warm searcher never hit the shared cache")
+	}
+}
+
+// TestSharedCacheInvalidate: Invalidate makes every entry unobservable and
+// forces relearning, without changing any cost.
+func TestSharedCacheInvalidate(t *testing.T) {
+	s := buildSearcher(t, sharedPairQueries()...)
+	cache := NewSharedCache()
+	s.AttachSharedCache(cache)
+	set := s.NewNodeSet(s.M.Shareable()[0])
+	want := s.BestCost(set)
+	s.PublishCache()
+	if cache.Len() == 0 {
+		t.Fatal("publish stored nothing")
+	}
+	cache.Invalidate()
+	if cache.Len() != 0 {
+		t.Errorf("invalidated cache still reports %d live entries", cache.Len())
+	}
+	if got := s.BestCost(set); got != want {
+		t.Errorf("cost after invalidation %v != %v", got, want)
+	}
+}
+
+// TestSharedCacheNamespaceSeparatesFlags: publishing under one flag
+// setting must not leak into another — the extended-operator cost of a
+// fresh searcher and of a cache-sharing searcher must agree exactly.
+func TestSharedCacheNamespaceSeparatesFlags(t *testing.T) {
+	s := buildSearcher(t, sharedPairQueries()...)
+	cache := NewSharedCache()
+	s.AttachSharedCache(cache)
+	set := s.NewNodeSet(s.M.Shareable()[0])
+	s.BestCost(set)
+	s.PublishCache()
+
+	s.ExtendedOps = true
+	s.ClearCache()
+	got := s.BestCost(set)
+
+	fresh := buildSearcher(t, sharedPairQueries()...)
+	fresh.ExtendedOps = true
+	fresh.ClearCache()
+	if want := fresh.BestCost(set); got != want {
+		t.Errorf("flag-toggled cost with shared cache %v != fresh %v", got, want)
+	}
+}
+
+// TestSharedCacheConcurrentSearchers: many searchers over the same memo
+// publishing and reading one cache concurrently stay race-free (run under
+// -race) and bit-identical.
+func TestSharedCacheConcurrentSearchers(t *testing.T) {
+	ref := buildSearcher(t, sharedPairQueries()...)
+	sh := ref.M.Shareable()
+	var want []float64
+	for _, id := range sh {
+		want = append(want, ref.BestCost(ref.NewNodeSet(id)))
+	}
+	cache := NewSharedCache()
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := buildSearcher(t, sharedPairQueries()...)
+			s.AttachSharedCache(cache)
+			for i, id := range sh {
+				if got := s.BestCost(s.NewNodeSet(id)); got != want[i] {
+					errs <- "cost diverged under concurrency"
+					return
+				}
+			}
+			s.PublishCache()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// errAfterCtx reports cancellation once Err has been consulted n times —
+// a deterministic mid-batch abort trigger for the sequential path.
+type errAfterCtx struct {
+	left int
+}
+
+func (c *errAfterCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *errAfterCtx) Done() <-chan struct{}       { return nil }
+func (c *errAfterCtx) Value(any) any               { return nil }
+
+func (c *errAfterCtx) Err() error {
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+// TestBestCostBatchCtxReturnsCompletedPrefix: an aborted batch hands back
+// the leading results it finished, bit-identical to sequential calls.
+func TestBestCostBatchCtxReturnsCompletedPrefix(t *testing.T) {
+	s := buildSearcher(t, sharedPairQueries()...)
+	sh := s.M.Shareable()
+	if len(sh) < 2 {
+		t.Fatalf("need ≥ 2 shareable nodes, have %d", len(sh))
+	}
+	// Singletons, the empty set, pairs: enough distinct sets to abort in
+	// the middle of.
+	mats := []NodeSet{{}, s.NewNodeSet(sh[0]), s.NewNodeSet(sh[1]), s.NewNodeSet(sh[0], sh[1]), s.NewNodeSet(sh[0])}
+	want := make([]float64, len(mats))
+	for i, m := range mats {
+		want[i] = s.BestCost(m)
+	}
+	s.Parallelism = 1
+	costs, ok := s.BestCostBatchCtx(&errAfterCtx{left: 3}, mats)
+	if ok {
+		t.Fatal("aborted batch reported ok")
+	}
+	if len(costs) != 3 {
+		t.Fatalf("completed prefix has %d results, want 3", len(costs))
+	}
+	for i, c := range costs {
+		if c != want[i] {
+			t.Errorf("prefix cost %d: %v != sequential %v", i, c, want[i])
+		}
+	}
+	// The concurrent dispatch path under an already-dead context completes
+	// nothing: the prefix is empty, never partial garbage.
+	s.Parallelism = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	costs, ok = s.BestCostBatchCtx(ctx, mats)
+	if ok || len(costs) != 0 {
+		t.Errorf("dead-context batch: ok=%v prefix=%d, want false/empty", ok, len(costs))
+	}
+}

@@ -1,7 +1,6 @@
 package submod
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -18,6 +17,18 @@ type Result struct {
 	// Pruned counts elements permanently removed by the ratio<1
 	// optimization of Section 5.1.
 	Pruned int
+	// Stale counts stale-bound re-evaluations performed by the lazy
+	// drivers: candidates whose upper bound topped the heap and had to be
+	// re-priced against the current selection. The first pricing of each
+	// candidate is not counted. An eager scan re-evaluates every surviving
+	// candidate every round; Stale is the part of that work laziness could
+	// not avoid.
+	Stale int
+	// Reused counts marginals carried exactly across a selection by the
+	// dirty-candidate tracking: after adding x, every candidate whose cost
+	// paths provably cannot interact with x (InteractionFunction) keeps
+	// its marginal without re-evaluation, once per selection survived.
+	Reused int
 	// Stopped records why the run ended early (StopNone for a complete
 	// run): budget exhaustion and cancellation are checked between oracle
 	// rounds, so Set is the deterministic best-so-far selection of the
@@ -39,17 +50,76 @@ func (res *Result) finish(o *Oracle, x Set) {
 	res.Value = o.Eval(x)
 }
 
+// positiveCostSplit partitions the universe (or the given subset of it)
+// into positive-cost candidates and free (non-positive-cost) elements.
+func (d *Decomposition) positiveCostSplit() (cands, free []int) {
+	for e := 0; e < d.o.N(); e++ {
+		if d.C[e] > epsCost {
+			cands = append(cands, e)
+		} else {
+			free = append(free, e)
+		}
+	}
+	return cands, free
+}
+
 // MarginalGreedy is Algorithm 2 of the paper: while some element has
 // marginal-benefit to cost ratio f'_M(x,X)/c(x) > 1, add the element with
 // the maximum ratio; finally add every element with non-positive cost.
 // Elements observed with ratio < 1 are permanently discarded
 // (Section 5.1): by submodularity their ratio can only decrease.
 //
+// The scan is batched-lazy (see lazyMaximize): candidates are kept in a
+// max-heap of stale upper bounds and re-evaluated — in oracle rounds of up
+// to lazyChunkSize batched evaluations — only while their bound still tops
+// the heap, and marginals of candidates provably untouched by the last
+// selection (the oracle function's InteractionFunction, when available)
+// are reused without re-evaluation. The selected set is identical to the
+// exhaustive-scan reference EagerMarginalGreedy whenever diminishing
+// returns hold; Result.{Pruned,Stale,Reused} report how the scan volume
+// was spent.
+//
 // Between rounds the oracle's Control is consulted: a cancelled context or
 // an exhausted call budget stops the scan and returns the best-so-far
 // greedy prefix (Result.Stopped says why). A truncated decomposition —
 // budget spent before the costs existed — yields the empty set.
 func MarginalGreedy(d *Decomposition) Result {
+	return marginalGreedyLazy("MarginalGreedy", d, lazyChunkSize)
+}
+
+// LazyMarginalGreedy is the Section 5.2 variant: the same lazy heap as
+// MarginalGreedy but with sequential (chunk size 1) re-evaluation, which
+// minimizes the number of oracle evaluations at the price of giving a
+// concurrent oracle nothing to batch. It returns exactly the same set as
+// MarginalGreedy and EagerMarginalGreedy under diminishing returns.
+func LazyMarginalGreedy(d *Decomposition) Result {
+	return marginalGreedyLazy("LazyMarginalGreedy", d, 1)
+}
+
+// marginalGreedyLazy is the shared body of the lazy marginal drivers.
+func marginalGreedyLazy(name string, d *Decomposition, chunk int) Result {
+	res := Result{}
+	if d.truncated || d.o.Interrupted() {
+		res.Stopped = d.o.StopReason()
+		res.finish(d.o, Set{})
+		return res
+	}
+	cands, free := d.positiveCostSplit()
+	x := lazyMaximize(name, d.o, d, cands, chunk, &res)
+	if res.Stopped == StopNone {
+		x, res.Stopped = addFree(d, x, free)
+	}
+	res.finish(d.o, x)
+	return res
+}
+
+// EagerMarginalGreedy is the exhaustive-scan reference implementation of
+// Algorithm 2: every round re-evaluates the marginal ratio of every
+// surviving candidate in one batched oracle call and picks the maximum
+// with the strict-> first-maximum tie-break. It is the oracle-hungry
+// baseline the lazy drivers are verified against (they must select
+// bit-identical sets) and the ablation benchmarks measure.
+func EagerMarginalGreedy(d *Decomposition) Result {
 	res := Result{}
 	if d.truncated || d.o.Interrupted() {
 		res.Stopped = d.o.StopReason()
@@ -57,14 +127,7 @@ func MarginalGreedy(d *Decomposition) Result {
 		return res
 	}
 	x := Set{}
-	var y, free []int
-	for e := 0; e < d.o.N(); e++ {
-		if d.C[e] > epsCost {
-			y = append(y, e)
-		} else {
-			free = append(free, e)
-		}
-	}
+	y, free := d.positiveCostSplit()
 	var sets []Set
 	for len(y) > 0 {
 		if d.o.Interrupted() {
@@ -104,7 +167,7 @@ func MarginalGreedy(d *Decomposition) Result {
 		}
 		x = x.With(bestE)
 		y = remove(y, bestE)
-		d.o.progress("MarginalGreedy", res.Iterations, x.Len(), len(y), bestV)
+		d.o.progress("EagerMarginalGreedy", res.Iterations, x.Len(), len(y), bestV)
 	}
 	if res.Stopped == StopNone {
 		x, res.Stopped = addFree(d, x, free)
@@ -154,96 +217,47 @@ func addFree(d *Decomposition, x Set, free []int) (Set, StopReason) {
 	return x, StopNone
 }
 
-// LazyMarginalGreedy is the Section 5.2 variant: a max-heap of stale upper
-// bounds on each element's ratio. Because f_M is submodular, a recomputed
-// ratio that still dominates the heap top is the true maximum, avoiding
-// O(n) recomputation per iteration. It returns exactly the same set as
-// MarginalGreedy. Budgets are checked before every heap step (each step
-// costs at most two oracle evaluations), so a stopped run keeps the
-// selections made so far.
-func LazyMarginalGreedy(d *Decomposition) Result {
+// Greedy is the benefit-greedy of Roy et al. [Algorithm 1]: at each step
+// add the element that maximizes f(X∪{x}) as long as f strictly improves.
+// Like MarginalGreedy it runs on the batched-lazy heap (threshold 0,
+// marginal gain instead of ratio) and selects exactly the set the
+// exhaustive-scan EagerGreedy selects under diminishing returns. Budgets
+// and cancellation are checked between oracle rounds.
+func Greedy(o *Oracle) Result {
+	return greedyLazy("Greedy", o, lazyChunkSize)
+}
+
+// LazyGreedy is Greedy accelerated with the Minoux heap under the
+// supermodularity ("monotonicity heuristic") assumption on the cost, i.e.
+// submodularity of the benefit f: the same lazy driver with sequential
+// (chunk size 1) re-evaluation. It returns the same set as Greedy when the
+// assumption holds. Budgets are checked before every oracle round.
+func LazyGreedy(o *Oracle) Result {
+	return greedyLazy("LazyGreedy", o, 1)
+}
+
+// greedyLazy is the shared body of the lazy benefit-greedy drivers.
+func greedyLazy(name string, o *Oracle, chunk int) Result {
 	res := Result{}
-	if d.truncated || d.o.Interrupted() {
-		res.Stopped = d.o.StopReason()
-		res.finish(d.o, Set{})
+	if o.Interrupted() {
+		res.Stopped = o.StopReason()
+		res.finish(o, Set{})
 		return res
 	}
-	x := Set{}
-	var free []int
-	h := &ratioHeap{}
-	for e := 0; e < d.o.N(); e++ {
-		if d.C[e] > epsCost {
-			h.items = append(h.items, ratioItem{e: e, bound: math.Inf(1), fresh: false})
-		} else {
-			free = append(free, e)
-		}
+	cands := make([]int, o.N())
+	for i := range cands {
+		cands[i] = i
 	}
-	heap.Init(h)
-	for h.Len() > 0 {
-		if d.o.Interrupted() {
-			res.Stopped = d.o.StopReason()
-			break
-		}
-		top := h.items[0]
-		if top.fresh {
-			// The bound at the top is current: it is the true maximum.
-			if top.bound <= 1 {
-				break
-			}
-			heap.Pop(h)
-			x = x.With(top.e)
-			res.Iterations++
-			d.o.progress("LazyMarginalGreedy", res.Iterations, x.Len(), h.Len(), d.o.Eval(x))
-			// All remaining bounds are stale with respect to the new X.
-			for i := range h.items {
-				h.items[i].fresh = false
-			}
-			continue
-		}
-		heap.Pop(h)
-		r := d.Ratio(top.e, x)
-		if r < 1 {
-			res.Pruned++
-			continue // permanently pruned (Section 5.1)
-		}
-		heap.Push(h, ratioItem{e: top.e, bound: r, fresh: true})
-	}
-	if res.Stopped == StopNone {
-		x, res.Stopped = addFree(d, x, free)
-	}
-	res.finish(d.o, x)
+	x := lazyMaximize(name, o, nil, cands, chunk, &res)
+	res.finish(o, x)
 	return res
 }
 
-type ratioItem struct {
-	e     int
-	bound float64
-	fresh bool
-}
-
-type ratioHeap struct{ items []ratioItem }
-
-func (h *ratioHeap) Len() int { return len(h.items) }
-func (h *ratioHeap) Less(i, j int) bool {
-	if h.items[i].bound != h.items[j].bound {
-		return h.items[i].bound > h.items[j].bound
-	}
-	return h.items[i].e < h.items[j].e
-}
-func (h *ratioHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *ratioHeap) Push(v interface{}) { h.items = append(h.items, v.(ratioItem)) }
-func (h *ratioHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	v := old[n-1]
-	h.items = old[:n-1]
-	return v
-}
-
-// Greedy is the benefit-greedy of Roy et al. [Algorithm 1]: at each step
-// add the element that maximizes f(X∪{x}) as long as f strictly improves.
-// Budgets and cancellation are checked between rounds.
-func Greedy(o *Oracle) Result {
+// EagerGreedy is the exhaustive-scan reference implementation of the
+// benefit greedy: every round re-evaluates f(X∪{e}) for every remaining
+// element in one batched oracle call. The lazy drivers are verified to
+// select bit-identical sets against it.
+func EagerGreedy(o *Oracle) Result {
 	res := Result{}
 	if o.Interrupted() {
 		res.Stopped = o.StopReason()
@@ -284,54 +298,10 @@ func Greedy(o *Oracle) Result {
 		x = x.With(bestE)
 		cur = bestV
 		y = remove(y, bestE)
-		o.progress("Greedy", res.Iterations, x.Len(), len(y), cur)
+		o.progress("EagerGreedy", res.Iterations, x.Len(), len(y), cur)
 	}
 	res.Set = x
 	res.Value = cur
-	return res
-}
-
-// LazyGreedy is Greedy accelerated with the Minoux heap under the
-// supermodularity ("monotonicity heuristic") assumption on the cost, i.e.
-// submodularity of the benefit f. It returns the same set as Greedy when
-// the assumption holds. Budgets are checked before every heap step.
-func LazyGreedy(o *Oracle) Result {
-	res := Result{}
-	if o.Interrupted() {
-		res.Stopped = o.StopReason()
-		res.finish(o, Set{})
-		return res
-	}
-	x := Set{}
-	h := &ratioHeap{}
-	for e := 0; e < o.N(); e++ {
-		h.items = append(h.items, ratioItem{e: e, bound: math.Inf(1), fresh: false})
-	}
-	heap.Init(h)
-	for h.Len() > 0 {
-		if o.Interrupted() {
-			res.Stopped = o.StopReason()
-			break
-		}
-		top := h.items[0]
-		if top.fresh {
-			if top.bound <= 0 {
-				break
-			}
-			heap.Pop(h)
-			x = x.With(top.e)
-			res.Iterations++
-			o.progress("LazyGreedy", res.Iterations, x.Len(), h.Len(), o.Eval(x))
-			for i := range h.items {
-				h.items[i].fresh = false
-			}
-			continue
-		}
-		heap.Pop(h)
-		ben := o.Eval(x.With(top.e)) - o.Eval(x)
-		heap.Push(h, ratioItem{e: top.e, bound: ben, fresh: true})
-	}
-	res.finish(o, x)
 	return res
 }
 

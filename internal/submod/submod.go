@@ -16,6 +16,34 @@
 //   - coverage functions and the Profitted Max Coverage instances used in
 //     the Theorem 2 hardness construction, which we reuse to validate the
 //     approximation bound empirically.
+//
+// # Lazy evaluation and incremental marginal maintenance
+//
+// All four greedy drivers (Greedy, LazyGreedy, MarginalGreedy,
+// LazyMarginalGreedy) share one batched-lazy engine (lazyMaximize): a
+// max-heap of per-candidate upper bounds, ordered (bound desc, element
+// asc) to mirror the eager scan's first-maximum tie-break. A candidate is
+// re-evaluated only while its stale bound still tops the heap — in oracle
+// rounds of up to lazyChunkSize batched (possibly concurrent) evaluations
+// for Greedy/MarginalGreedy, or one at a time for the sequential Lazy*
+// variants. By diminishing returns a bound never understates the true
+// marginal, so the element selected when the top is exact is precisely the
+// element the exhaustive scan would pick; stale bounds at or below the
+// selection threshold are still re-priced before the scan concludes, so a
+// mild submodularity violation surfaces exactly as it would eagerly.
+//
+// On top of the bounds, the drivers maintain marginals incrementally
+// across rounds: when the oracle's function also implements
+// InteractionFunction, each selection marks only the candidates whose
+// cost paths can see the selected node as dirty, and the rest keep their
+// marginals as exact — selectable without any re-evaluation. For the MQO
+// benefit function this is the share-index test "no query root contains
+// both nodes" (physical.Searcher.SharesQueryRoot). Result.{Pruned, Stale,
+// Reused} split the scan volume into permanently discarded candidates,
+// stale re-evaluations performed, and exact marginals carried across
+// selections; the exhaustive-scan references (EagerGreedy,
+// EagerMarginalGreedy) remain as the verification baseline the lazy
+// drivers are pinned bit-identical against.
 package submod
 
 import (
@@ -185,10 +213,34 @@ type Function interface {
 // implementations achieve this by keeping every single evaluation
 // sequential and only running distinct evaluations in parallel. When the
 // evaluation context is cancelled mid-batch, implementations return
-// (partial, false); the partial values must not be used.
+// (prefix, false) where prefix holds the completed leading results in
+// input order (possibly empty): every value present is exact and may be
+// committed; positions past the prefix were not evaluated.
 type BatchFunction interface {
 	Function
 	EvalBatch(sets []Set) ([]float64, bool)
+}
+
+// InteractionFunction is an optional Function extension carrying the
+// structural independence the dirty-candidate lazy drivers exploit:
+// Interacts(e, x) reports whether adding x to the current set can change
+// e's marginal. The contract is exact: when Interacts(e, x) is false, then
+// for every set S with e, x ∉ S,
+//
+//	f(S∪{e}) − f(S) = f(S∪{x}∪{e}) − f(S∪{x})
+//
+// as real numbers. (Floating-point evaluation of the two sides may differ
+// in the last units of precision; callers that reuse marginals accept
+// that rounding, and the parity suites pin that it never changes a
+// selection on the covered workloads.) For the MQO benefit function the
+// test is "no query root has both nodes in its cone": cost changes
+// propagate only upward from a materialized node, so candidates in
+// disjoint root cones can never see each other (see
+// physical.Searcher.SharesQueryRoot). Implementations must be safe for
+// concurrent readers.
+type InteractionFunction interface {
+	Function
+	Interacts(e, x int) bool
 }
 
 // Oracle wraps a Function with memoization and an evaluation counter, so
@@ -227,9 +279,11 @@ func (o *Oracle) Eval(s Set) float64 {
 // function supports it — so one greedy round costs one batched oracle
 // call. The results (and the memo and call counter afterwards) are
 // identical to evaluating each set with Eval in order. When the run's
-// context is cancelled mid-batch, EvalBatch memoizes nothing from the
-// batch and returns (nil, false); the caller must stop and fall back to
-// its best-so-far set.
+// context is cancelled mid-batch, EvalBatch returns (nil, false) but the
+// completed prefix of the interrupted batch is committed to the memo (and
+// the call counter) first: every such value is an exact, deterministic
+// f(S), so committing it can never change a later result — it only spares
+// a budget-interrupted round from discarding work it already paid for.
 func (o *Oracle) EvalBatch(sets []Set) ([]float64, bool) {
 	out := make([]float64, len(sets))
 	keys := make([]uint64, len(sets))
@@ -252,29 +306,24 @@ func (o *Oracle) EvalBatch(sets []Set) ([]float64, bool) {
 				miss[j] = sets[i]
 			}
 			vals, ok := bf.EvalBatch(miss)
+			// Commit whatever completed — the whole batch, or the leading
+			// prefix of an interrupted one.
+			for j := 0; j < len(vals) && j < len(missIdx); j++ {
+				o.Calls++
+				o.memo[keys[missIdx[j]]] = vals[j]
+			}
 			if !ok {
 				o.markCancelled()
 				return nil, false
 			}
-			for j, i := range missIdx {
-				o.Calls++
-				o.memo[keys[i]] = vals[j]
-			}
 		} else {
-			// Evaluate into a scratch slice and commit only a complete
-			// batch, so a mid-batch cancellation leaves the memo and call
-			// counter untouched — the same all-or-nothing contract as the
-			// BatchFunction path.
-			vals := make([]float64, 0, len(missIdx))
 			for _, i := range missIdx {
 				if o.ctxCancelled() {
 					return nil, false
 				}
-				vals = append(vals, o.F.Eval(sets[i]))
-			}
-			for j, i := range missIdx {
+				v := o.F.Eval(sets[i])
 				o.Calls++
-				o.memo[keys[i]] = vals[j]
+				o.memo[keys[i]] = v
 			}
 		}
 		// Fill every position (duplicates included) from the memo.

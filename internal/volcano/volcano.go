@@ -51,9 +51,10 @@ func (o *Optimizer) BestCostBatch(sets []physical.NodeSet) []float64 {
 }
 
 // BestCostBatchCtx is BestCostBatch under a context: once ctx is cancelled
-// no further evaluation starts, ok is false and the partial results must
-// be discarded. The session API routes its cancellation and time budgets
-// through this path.
+// no further evaluation starts, ok is false and the completed prefix of
+// the costs is returned — exact values a caller may commit (see
+// physical.Searcher.BestCostBatchCtx). The session API routes its
+// cancellation and time budgets through this path.
 func (o *Optimizer) BestCostBatchCtx(ctx context.Context, sets []physical.NodeSet) ([]float64, bool) {
 	return o.Searcher.BestCostBatchCtx(ctx, sets)
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/logical"
 	"repro/internal/memo"
+	"repro/internal/physical"
 	"repro/internal/submod"
 	"repro/internal/volcano"
 )
@@ -119,10 +120,20 @@ type SessionStats struct {
 // them while building the batch-specific DAG state per call. Optimize is
 // safe for concurrent use — each call owns its optimizer — and the session
 // aggregates telemetry across calls (Stats).
+//
+// The session also owns a sharded cross-call cost cache
+// (physical.SharedCache) attached to every call's searcher: concurrent
+// scan workers share what they learn within a call, and — because entries
+// are namespaced by the combined DAG's structural fingerprint — a batch
+// identical to an earlier one starts with a warm cache instead of
+// relearning every (group, order, mask) cost. Cached costs are pure
+// functions of their keys, so sharing never changes a result
+// (Telemetry.SharedHits reports how often it helped).
 type Session struct {
 	cat      *catalog.Catalog
 	model    cost.Model
 	defaults config
+	cache    *physical.SharedCache
 
 	mu    sync.Mutex
 	stats SessionStats
@@ -135,12 +146,23 @@ func NewSession(cat *catalog.Catalog, model cost.Model, opts ...Option) (*Sessio
 	if cat == nil {
 		return nil, errors.New("repro: nil catalog")
 	}
-	s := &Session{cat: cat, model: model, defaults: config{strategy: MarginalGreedy}}
+	s := &Session{
+		cat:      cat,
+		model:    model,
+		defaults: config{strategy: MarginalGreedy},
+		cache:    physical.NewSharedCache(),
+	}
 	for _, o := range opts {
 		o(&s.defaults)
 	}
 	return s, nil
 }
+
+// InvalidateCache drops the session's shared cross-call cost cache in
+// O(1). Correctness never requires it — entries are namespaced by DAG
+// fingerprint and operator flags — but a long-running session may use it
+// to bound memory or force cold-cache measurements.
+func (s *Session) InvalidateCache() { s.cache.Invalidate() }
 
 // RunResult is the outcome of one Session.Optimize call: the strategy
 // result (with telemetry), the extracted consolidated plan, and the
@@ -188,6 +210,7 @@ func (s *Session) Optimize(ctx context.Context, batch *logical.Batch, opts ...Op
 	}
 	build := time.Since(buildStart)
 	opt.Searcher.Parallelism = cfg.parallelism
+	opt.Searcher.AttachSharedCache(s.cache)
 	if cfg.extendedOps {
 		opt.SetExtendedOps(true)
 	}
@@ -205,6 +228,9 @@ func (s *Session) Optimize(ctx context.Context, batch *logical.Batch, opts ...Op
 	extractStart := time.Now()
 	plan := opt.Plan(res.MatSet())
 	extract := time.Since(extractStart)
+	// Publish this call's cost learning into the session cache so later
+	// batches with the same DAG fingerprint start warm.
+	opt.Searcher.PublishCache()
 
 	s.mu.Lock()
 	s.stats.Batches++

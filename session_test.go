@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -310,5 +311,67 @@ func TestSessionInvalidBatchRejected(t *testing.T) {
 	sess := newTestSession(t)
 	if _, err := sess.Optimize(context.Background(), nil); err == nil {
 		t.Error("nil batch accepted")
+	}
+}
+
+// TestSessionSharedCacheWarmsAcrossBatches: the session-owned cost cache
+// makes a repeat of an identical batch start warm — the second call
+// reports SharedCache hits and recomputes fewer keys — while choosing the
+// same set at the same cost. An unrelated batch in between must neither
+// pollute nor benefit: its DAG fingerprint namespaces its entries.
+func TestSessionSharedCacheWarmsAcrossBatches(t *testing.T) {
+	sess := newTestSession(t, WithParallelism(1))
+	ctx := context.Background()
+	batch := tpcd.BQ(3)
+
+	cold, err := sess.Optimize(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Telemetry.SharedHits != 0 {
+		t.Errorf("first call reported %d shared hits", cold.Telemetry.SharedHits)
+	}
+
+	if _, err := sess.Optimize(ctx, tpcd.BQ(1)); err != nil { // unrelated batch
+		t.Fatal(err)
+	}
+
+	warm, err := sess.Optimize(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Telemetry.SharedHits == 0 {
+		t.Error("repeat of an identical batch never hit the session cache")
+	}
+	if warm.Telemetry.ComputedKeys >= cold.Telemetry.ComputedKeys {
+		t.Errorf("warm call recomputed %d keys, cold %d — no amortization",
+			warm.Telemetry.ComputedKeys, cold.Telemetry.ComputedKeys)
+	}
+	if fmt.Sprint(warm.Materialized) != fmt.Sprint(cold.Materialized) || warm.Cost != cold.Cost {
+		t.Errorf("warm result diverged: %v/%v vs %v/%v",
+			warm.Materialized, warm.Cost, cold.Materialized, cold.Cost)
+	}
+}
+
+// TestSessionInvalidateCacheForcesColdStart: after InvalidateCache a
+// repeated batch relearns from scratch, bit-identically.
+func TestSessionInvalidateCacheForcesColdStart(t *testing.T) {
+	sess := newTestSession(t, WithParallelism(1))
+	ctx := context.Background()
+	batch := tpcd.BQ(2)
+	first, err := sess.Optimize(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.InvalidateCache()
+	again, err := sess.Optimize(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Telemetry.SharedHits != 0 {
+		t.Errorf("invalidated cache still served %d hits", again.Telemetry.SharedHits)
+	}
+	if again.Cost != first.Cost {
+		t.Errorf("cost changed across invalidation: %v vs %v", again.Cost, first.Cost)
 	}
 }

@@ -152,7 +152,7 @@ type Report struct {
 type Row struct {
 	Name      string
 	Old, New  Bench
-	Ratio     float64 // ns/op
+	Ratio     float64 // ns/op; 0 when either side's ns/op is non-positive
 	CallRatio float64 // bc_calls; 0 when either side lacks the metric
 }
 
@@ -168,7 +168,15 @@ func Compare(base, snap *Snapshot, threshold, callThreshold float64) *Report {
 			rep.Missing = append(rep.Missing, name)
 			continue
 		}
-		r := Row{Name: name, Old: old, New: nv, Ratio: nv.NsPerOp / old.NsPerOp}
+		r := Row{Name: name, Old: old, New: nv}
+		// A non-positive ns/op (a hand-edited or corrupted baseline entry)
+		// would drive the geomean to Inf/NaN and poison the whole gate;
+		// such rows are shown but excluded from the ratio.
+		if old.NsPerOp > 0 && nv.NsPerOp > 0 {
+			r.Ratio = nv.NsPerOp / old.NsPerOp
+			sum += math.Log(r.Ratio)
+			n++
+		}
 		if old.BCCalls > 0 && nv.BCCalls > 0 {
 			r.CallRatio = nv.BCCalls / old.BCCalls
 			if r.CallRatio > callThreshold && worstCalls == "" {
@@ -177,8 +185,6 @@ func Compare(base, snap *Snapshot, threshold, callThreshold float64) *Report {
 			}
 		}
 		rep.Rows = append(rep.Rows, r)
-		sum += math.Log(r.Ratio)
-		n++
 	}
 	for name := range snap.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {
@@ -192,7 +198,7 @@ func Compare(base, snap *Snapshot, threshold, callThreshold float64) *Report {
 	case n == 0:
 		rep.Fail = true
 		rep.Geomean = math.NaN()
-		rep.Reason = "no common benchmarks between baseline and new run"
+		rep.Reason = "no comparable benchmarks between baseline and new run"
 		return rep
 	case len(rep.Missing) > 0:
 		rep.Fail = true
@@ -214,11 +220,14 @@ func Compare(base, snap *Snapshot, threshold, callThreshold float64) *Report {
 func (r *Report) Table() string {
 	out := fmt.Sprintf("%-52s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "calls")
 	for _, row := range r.Rows {
-		calls := "-"
+		ratio, calls := "-", "-"
+		if row.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3f", row.Ratio)
+		}
 		if row.CallRatio > 0 {
 			calls = fmt.Sprintf("%.3f", row.CallRatio)
 		}
-		out += fmt.Sprintf("%-52s %14.0f %14.0f %8.3f %10s\n", row.Name, row.Old.NsPerOp, row.New.NsPerOp, row.Ratio, calls)
+		out += fmt.Sprintf("%-52s %14.0f %14.0f %8s %10s\n", row.Name, row.Old.NsPerOp, row.New.NsPerOp, ratio, calls)
 	}
 	for _, name := range r.Missing {
 		out += fmt.Sprintf("%-52s missing from the new run\n", name)

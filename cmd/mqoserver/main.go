@@ -1,0 +1,148 @@
+// Command mqoserver serves multi-query optimization over HTTP with
+// per-tenant admission control (see internal/server for the API and the
+// admission contract).
+//
+// Usage:
+//
+//	mqoserver [-listen :8080] [-tenants tenants.json] [-strict-tenants]
+//	          [-pool-size 4] [-sf 1] [-sfs 1,10,100] [-max-queries 1024]
+//	          [-max-concurrent 4] [-queue-depth 16] [-queue-wait 5s]
+//	          [-time-budget 0] [-call-budget 0] [-call-quota 0]
+//	          [-drain-grace 2s] [-drain-timeout 30s]
+//
+// The -tenants file is a JSON object mapping tenant name to its limits;
+// the -max-concurrent/-queue-*/-*-budget flags configure the default
+// tenant applied to names missing from the table:
+//
+//	{
+//	  "acme":  {"max_concurrent": 8, "queue_depth": 32, "queue_wait_ms": 2000,
+//	            "time_budget_ms": 1000, "call_budget": 20000, "call_quota": 1000000},
+//	  "guest": {"max_concurrent": 1, "queue_depth": 4, "call_quota": 50000}
+//	}
+//
+// On SIGTERM/SIGINT the server drains: for -drain-grace the listener
+// stays open while /healthz answers 503 (so load balancers observe the
+// drain and stop routing) and new optimize requests are rejected with
+// 503 + Retry-After; then the listener closes and in-flight requests get
+// up to -drain-timeout to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/strictjson"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		listen        = flag.String("listen", ":8080", "listen address")
+		tenantsPath   = flag.String("tenants", "", "JSON file mapping tenant name to its admission config")
+		strictTenants = flag.Bool("strict-tenants", false, "reject tenants missing from the -tenants table (403)")
+		poolSize      = flag.Int("pool-size", 4, "max catalog-keyed sessions kept in the pool")
+		sf            = flag.Float64("sf", 1, "default TPCD scale factor for requests naming none")
+		sfs           = flag.String("sfs", "1,10,100", "comma-separated scale factors requests may name (the sf is a session-pool key, so this set is closed)")
+		maxQueries    = flag.Int("max-queries", 1024, "max queries per request batch (-1 = unbounded)")
+		maxConc       = flag.Int("max-concurrent", 4, "default tenant: concurrent requests")
+		queueDepth    = flag.Int("queue-depth", 16, "default tenant: FIFO queue depth")
+		queueWait     = flag.Duration("queue-wait", 5*time.Second, "default tenant: max queue wait")
+		timeBudget    = flag.Duration("time-budget", 0, "default tenant: per-request optimization wall-clock cap (0 = none)")
+		callBudget    = flag.Int("call-budget", 0, "default tenant: per-request oracle-call cap (0 = none)")
+		callQuota     = flag.Int64("call-quota", 0, "default tenant: cumulative oracle-call quota (0 = unlimited)")
+		drainGrace    = flag.Duration("drain-grace", 2*time.Second, "how long to keep answering (503) after SIGTERM so load balancers observe the drain before the listener closes")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get after SIGTERM")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		DefaultTenant: server.TenantConfig{
+			MaxConcurrent: *maxConc,
+			QueueDepth:    *queueDepth,
+			QueueWaitMS:   queueWait.Milliseconds(),
+			TimeBudgetMS:  timeBudget.Milliseconds(),
+			CallBudget:    *callBudget,
+			CallQuota:     *callQuota,
+		},
+		StrictTenants: *strictTenants,
+		PoolSize:      *poolSize,
+		MaxQueries:    *maxQueries,
+		DefaultSF:     *sf,
+		Logger:        log.Default(),
+	}
+	for _, part := range strings.Split(*sfs, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			log.Fatalf("mqoserver: -sfs: %q is not a positive scale factor", part)
+		}
+		cfg.AllowedSFs = append(cfg.AllowedSFs, v)
+	}
+	if *tenantsPath != "" {
+		table, err := loadTenants(*tenantsPath)
+		if err != nil {
+			log.Fatalf("mqoserver: %v", err)
+		}
+		cfg.Tenants = table
+	}
+
+	srv := server.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigs
+		log.Printf("mqoserver: %v — draining (%v grace, then up to %v for in-flight requests)",
+			sig, *drainGrace, *drainTimeout)
+		srv.Drain()
+		// Keep the listener open through the grace window: new requests
+		// and health probes get an orderly 503 + Retry-After (so load
+		// balancers take the instance out of rotation) instead of a TCP
+		// refusal. Only then does Shutdown close the listener and wait
+		// for in-flight handlers.
+		time.Sleep(*drainGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("mqoserver: drain incomplete: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("mqoserver: listening on %s (pool %d, default sf %g, %d tenants preconfigured)",
+		*listen, *poolSize, *sf, len(cfg.Tenants))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mqoserver: %v", err)
+	}
+	<-done
+	log.Printf("mqoserver: drained, bye")
+}
+
+// loadTenants reads the tenant table, strictly: unknown fields and
+// trailing data are config typos, not extensions.
+func loadTenants(path string) (map[string]server.TenantConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var table map[string]server.TenantConfig
+	if err := strictjson.Decode(data, &table); err != nil {
+		return nil, errors.New(path + ": " + err.Error())
+	}
+	return table, nil
+}

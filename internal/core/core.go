@@ -120,34 +120,36 @@ func (c Config) LimitOracleCalls(n int) Config {
 // OracleCallLimit reports the configured budget (and whether one is set).
 func (c Config) OracleCallLimit() (int, bool) { return c.maxCalls, c.hasMaxCalls }
 
-// Telemetry reports how a run spent its budget, phase by phase.
+// Telemetry reports how a run spent its budget, phase by phase. The JSON
+// tags are the wire contract of the serving front end (internal/server):
+// durations marshal as nanoseconds, Stopped as its String form.
 type Telemetry struct {
-	OracleCalls  int     // memoized-distinct mb(S) evaluations
-	BCCalls      int     // bestCost invocations during the run
-	CacheHits    int     // worker-private (L1) cross-call cache hits
-	SharedHits   int     // SharedCache (L2) hits during the run
-	ComputedKeys int     // fresh (group, order, mask) computations
-	CacheHitRate float64 // (CacheHits+SharedHits) / (hits + ComputedKeys)
-	Rounds       int     // completed greedy rounds (selections for lazy)
-	Pruned       int     // Section 5.1 permanent prunes
+	OracleCalls  int     `json:"oracle_calls"`   // memoized-distinct mb(S) evaluations
+	BCCalls      int     `json:"bc_calls"`       // bestCost invocations during the run
+	CacheHits    int     `json:"cache_hits"`     // worker-private (L1) cross-call cache hits
+	SharedHits   int     `json:"shared_hits"`    // SharedCache (L2) hits during the run
+	ComputedKeys int     `json:"computed_keys"`  // fresh (group, order, mask) computations
+	CacheHitRate float64 `json:"cache_hit_rate"` // (CacheHits+SharedHits) / (hits + ComputedKeys)
+	Rounds       int     `json:"rounds"`         // completed greedy rounds (selections for lazy)
+	Pruned       int     `json:"pruned"`         // Section 5.1 permanent prunes
 	// Stale counts stale-bound re-evaluations the lazy scan performed;
 	// Reused counts marginals carried exactly across a selection by the
 	// dirty-candidate tracking (work the scan provably avoided). Both are
 	// zero for eager strategies. See submod.Result.
-	Stale  int
-	Reused int
+	Stale  int `json:"stale"`
+	Reused int `json:"reused"`
 	// Stopped records why the run ended early; StopNone for a complete
 	// run. A stopped run's materialization set is the deterministic
 	// best-so-far selection of the completed rounds.
-	Stopped submod.StopReason
+	Stopped submod.StopReason `json:"stopped"`
 	// SetupTime covers bc(∅) and, for the marginal strategies, the
 	// Proposition 1 decomposition; SearchTime the greedy rounds;
 	// FinalizeTime the pricing of the chosen set. They sum to TotalTime up
 	// to bookkeeping noise.
-	SetupTime    time.Duration
-	SearchTime   time.Duration
-	FinalizeTime time.Duration
-	TotalTime    time.Duration
+	SetupTime    time.Duration `json:"setup_ns"`
+	SearchTime   time.Duration `json:"search_ns"`
+	FinalizeTime time.Duration `json:"finalize_ns"`
+	TotalTime    time.Duration `json:"total_ns"`
 }
 
 // Result is the outcome of one MQO run.

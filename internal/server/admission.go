@@ -1,0 +1,353 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// TenantConfig bounds one tenant's use of the service. The zero value
+// means "all defaults"; normalize fills them in. Durations travel as
+// milliseconds so the config is plain JSON (the mqoserver -tenants table
+// is a map of these).
+type TenantConfig struct {
+	// MaxConcurrent is the number of requests the tenant may have running
+	// at once (default 4).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// QueueDepth bounds the tenant's FIFO wait queue; a request arriving
+	// with the queue full is rejected with 429. Zero means the default
+	// (16); a negative value disables queueing entirely, so a tenant with
+	// all slots busy is rejected immediately.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// QueueWaitMS is the longest a request may wait for a slot before
+	// being rejected with 503 (default 5000).
+	QueueWaitMS int64 `json:"queue_wait_ms,omitempty"`
+	// TimeBudgetMS caps each admitted request's optimization wall clock
+	// (0 = none); requests asking for more are clamped to it.
+	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
+	// CallBudget caps each admitted request's oracle calls (0 = none);
+	// requests asking for more are clamped to it.
+	CallBudget int `json:"call_budget,omitempty"`
+	// CallQuota is the tenant's cumulative oracle-call allowance across
+	// requests (0 = unlimited). Completed requests are charged their
+	// actual Telemetry.OracleCalls; once spent ≥ quota, new requests are
+	// rejected with 429 until ResetQuota.
+	CallQuota int64 `json:"call_quota,omitempty"`
+}
+
+// Defaults applied by normalize.
+const (
+	defaultMaxConcurrent = 4
+	defaultQueueDepth    = 16
+	defaultQueueWaitMS   = 5000
+)
+
+func (c TenantConfig) normalize() TenantConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = defaultMaxConcurrent
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0 // no queueing: reject as soon as slots are full
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = defaultQueueDepth
+	}
+	if c.QueueWaitMS <= 0 {
+		c.QueueWaitMS = defaultQueueWaitMS
+	}
+	return c
+}
+
+func (c TenantConfig) queueWait() time.Duration {
+	return time.Duration(c.QueueWaitMS) * time.Millisecond
+}
+
+// TenantStats are one tenant's admission counters, served by /v1/stats.
+// Admitted = Completed + Active once the tenant is idle; Rejected* and
+// QueueTimeouts count requests that never reached a session.
+type TenantStats struct {
+	Admitted          int64 `json:"admitted"`
+	Completed         int64 `json:"completed"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedQuota     int64 `json:"rejected_quota"`
+	QueueTimeouts     int64 `json:"queue_timeouts"`
+	Cancelled         int64 `json:"cancelled_in_queue"`
+	Active            int   `json:"active"`
+	Queued            int   `json:"queued"`
+	QuotaSpent        int64 `json:"quota_spent"`
+	QuotaLimit        int64 `json:"quota_limit,omitempty"`
+}
+
+// Admission reasons a request can be turned away with.
+var (
+	// ErrQueueFull: the tenant's wait queue is at QueueDepth (429).
+	ErrQueueFull = errors.New("admission: queue full")
+	// ErrQueueTimeout: the queue wait exceeded QueueWaitMS (503).
+	ErrQueueTimeout = errors.New("admission: queue-wait deadline exceeded")
+	// ErrQuotaExhausted: the tenant's oracle-call quota is spent (429).
+	ErrQuotaExhausted = errors.New("admission: oracle-call quota exhausted")
+	// ErrCancelled: the client went away while queued.
+	ErrCancelled = errors.New("admission: cancelled while queued")
+	// ErrUnknownTenant: strict mode and the tenant is not in the table (403).
+	ErrUnknownTenant = errors.New("admission: unknown tenant")
+	// ErrTenantOverflow: the controller is tracking its maximum number of
+	// distinct tenants and refuses to allocate state for new names (429).
+	ErrTenantOverflow = errors.New("admission: too many distinct tenants")
+)
+
+// waiter outcomes, guarded by the tenant mutex.
+const (
+	waiterPending  = iota // still queued
+	waiterGranted         // a releasing request handed its slot over
+	waiterQuotaCut        // rejected in the queue: the tenant quota is spent
+)
+
+// waiter is one queued request. outcome is guarded by the tenant mutex:
+// a releasing request either hands its slot over (waiterGranted) or, once
+// the quota is spent, cuts the whole queue (waiterQuotaCut), closing ch
+// either way. A waiter whose timer or context fires concurrently
+// re-checks the outcome under the mutex (settle) and, if it was granted
+// in that same instant, is admitted — the grant wins the race, so the
+// slot is used rather than leaked.
+type waiter struct {
+	ch      chan struct{}
+	outcome int
+}
+
+// tenant is the runtime admission state of one tenant.
+type tenant struct {
+	name string
+	cfg  TenantConfig
+
+	mu         sync.Mutex
+	active     int
+	queue      []*waiter
+	quotaSpent int64
+	stats      TenantStats
+}
+
+// maxDynamicTenants bounds how many distinct tenant names a non-strict
+// controller will lazily allocate state for, so attacker-chosen tenant
+// names cannot grow the map (and the /v1/stats payload) without bound.
+// Pre-declared tenants don't count against it.
+const maxDynamicTenants = 4096
+
+// Admission is the per-tenant admission controller: a concurrency limit,
+// a bounded FIFO queue with a wait deadline, and a cumulative oracle-call
+// quota per tenant. All methods are safe for concurrent use.
+type Admission struct {
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	declared int // tenants pre-declared at construction
+	defCfg   TenantConfig
+	strict   bool
+}
+
+// NewAdmission builds a controller. def is the config for tenants not in
+// cfgs (unless strict, in which case they are rejected); cfgs pre-declares
+// named tenants.
+func NewAdmission(def TenantConfig, cfgs map[string]TenantConfig, strict bool) *Admission {
+	a := &Admission{
+		tenants:  make(map[string]*tenant, len(cfgs)),
+		declared: len(cfgs),
+		defCfg:   def.normalize(),
+		strict:   strict,
+	}
+	for name, c := range cfgs {
+		a.tenants[name] = &tenant{name: name, cfg: c.normalize()}
+	}
+	return a
+}
+
+// tenant resolves (or lazily creates) a tenant's state.
+func (a *Admission) tenant(name string) (*tenant, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.tenants[name]
+	if !ok {
+		if a.strict {
+			return nil, ErrUnknownTenant
+		}
+		if len(a.tenants)-a.declared >= maxDynamicTenants {
+			return nil, ErrTenantOverflow
+		}
+		t = &tenant{name: name, cfg: a.defCfg}
+		a.tenants[name] = t
+	}
+	return t, nil
+}
+
+// Config reports the effective limits of a tenant: its declared (or
+// lazily created) config, or the controller default for names it has
+// never seen.
+func (a *Admission) Config(name string) TenantConfig {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t, ok := a.tenants[name]; ok {
+		return t.cfg
+	}
+	return a.defCfg
+}
+
+// Acquire admits one request for the named tenant, blocking in the
+// tenant's FIFO queue when its concurrency slots are taken. On success it
+// returns a release function the caller MUST invoke exactly once with the
+// request's oracle-call spend (0 for requests that never ran); on failure
+// it returns one of the Err* reasons. ctx aborts the queue wait.
+func (a *Admission) Acquire(ctx context.Context, name string) (release func(oracleCalls int), err error) {
+	t, err := a.tenant(name)
+	if err != nil {
+		return nil, err
+	}
+
+	t.mu.Lock()
+	if t.cfg.CallQuota > 0 && t.quotaSpent >= t.cfg.CallQuota {
+		t.stats.RejectedQuota++
+		t.mu.Unlock()
+		return nil, ErrQuotaExhausted
+	}
+	if t.active < t.cfg.MaxConcurrent {
+		t.active++
+		t.stats.Admitted++
+		t.mu.Unlock()
+		return t.release, nil
+	}
+	if len(t.queue) >= t.cfg.QueueDepth {
+		t.stats.RejectedQueueFull++
+		t.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{ch: make(chan struct{}), outcome: waiterPending}
+	t.queue = append(t.queue, w)
+	t.mu.Unlock()
+
+	timer := time.NewTimer(t.cfg.queueWait())
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		return t.settle(w, nil, nil)
+	case <-timer.C:
+		return t.settle(w, &t.stats.QueueTimeouts, ErrQueueTimeout)
+	case <-ctx.Done():
+		return t.settle(w, &t.stats.Cancelled, ErrCancelled)
+	}
+}
+
+// settle resolves a waiter that woke up (slot handed over, queue cut on
+// quota exhaustion, timeout, or cancellation — the races between them are
+// decided here, under the tenant mutex). A still-pending waiter is
+// removed from the queue and rejected with reason; a granted one is
+// admitted even if its timer fired in the same instant (admission won the
+// race); a quota-cut one reports ErrQuotaExhausted, already counted at
+// the cut.
+func (t *tenant) settle(w *waiter, counter *int64, reason error) (func(int), error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch w.outcome {
+	case waiterGranted:
+		t.stats.Admitted++
+		return t.release, nil
+	case waiterQuotaCut:
+		return nil, ErrQuotaExhausted
+	default: // still queued: remove and reject with the caller's reason.
+		// Unreachable from the ch-closed wakeup (an outcome is always set
+		// before ch closes), so counter/reason are non-nil here.
+		for i, q := range t.queue {
+			if q == w {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				break
+			}
+		}
+		if counter != nil {
+			*counter++
+		}
+		if reason == nil {
+			reason = ErrCancelled
+		}
+		return nil, reason
+	}
+}
+
+// release frees one slot, charging the quota with the request's actual
+// oracle-call spend. While quota remains, the slot is handed to the queue
+// head (FIFO); once the spend reaches the quota, the whole queue is cut —
+// waiting longer cannot help until an operator resets the quota, so the
+// queued requests are rejected now instead of burning their wait
+// deadline.
+func (t *tenant) release(oracleCalls int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.quotaSpent += int64(oracleCalls)
+	t.stats.Completed++
+	if t.cfg.CallQuota > 0 && t.quotaSpent >= t.cfg.CallQuota {
+		for _, w := range t.queue {
+			w.outcome = waiterQuotaCut
+			t.stats.RejectedQuota++
+			close(w.ch)
+		}
+		t.queue = t.queue[:0]
+		t.active--
+		return
+	}
+	if len(t.queue) > 0 {
+		w := t.queue[0]
+		t.queue = t.queue[1:]
+		w.outcome = waiterGranted
+		close(w.ch)
+		return // slot transferred; active count unchanged
+	}
+	t.active--
+}
+
+// ResetQuota zeroes the named tenant's cumulative oracle-call spend. It
+// reports false for tenants the controller has never seen.
+func (a *Admission) ResetQuota(name string) bool {
+	a.mu.Lock()
+	t, ok := a.tenants[name]
+	a.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.mu.Lock()
+	t.quotaSpent = 0
+	t.mu.Unlock()
+	return true
+}
+
+// Stats snapshots every tenant's counters, keyed by tenant name.
+func (a *Admission) Stats() map[string]TenantStats {
+	a.mu.Lock()
+	ts := make([]*tenant, 0, len(a.tenants))
+	for _, t := range a.tenants {
+		ts = append(ts, t)
+	}
+	a.mu.Unlock()
+	out := make(map[string]TenantStats, len(ts))
+	for _, t := range ts {
+		t.mu.Lock()
+		s := t.stats
+		s.Active = t.active
+		s.Queued = len(t.queue)
+		s.QuotaSpent = t.quotaSpent
+		s.QuotaLimit = t.cfg.CallQuota
+		t.mu.Unlock()
+		out[t.name] = s
+	}
+	return out
+}
+
+// RetryAfter suggests how long a rejected request should back off: the
+// tenant's queue-wait deadline for congestion, a minute for quota
+// exhaustion.
+func (a *Admission) RetryAfter(name string, reason error) time.Duration {
+	cfg := a.defCfg
+	a.mu.Lock()
+	if t, ok := a.tenants[name]; ok {
+		cfg = t.cfg
+	}
+	a.mu.Unlock()
+	if errors.Is(reason, ErrQuotaExhausted) {
+		return time.Minute
+	}
+	return cfg.queueWait()
+}

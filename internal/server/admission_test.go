@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionConcurrencyAndQueueFull fills a tenant's slots and queue,
+// then checks the overflow request is rejected immediately with
+// ErrQueueFull while the queued one is admitted FIFO when a slot frees.
+func TestAdmissionConcurrencyAndQueueFull(t *testing.T) {
+	a := NewAdmission(TenantConfig{MaxConcurrent: 2, QueueDepth: 1, QueueWaitMS: 60000}, nil, false)
+	ctx := context.Background()
+
+	rel1, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Third request queues; acquire it on a goroutine.
+	admitted := make(chan func(int), 1)
+	go func() {
+		rel, err := a.Acquire(ctx, "t")
+		if err != nil {
+			t.Errorf("queued request rejected: %v", err)
+			admitted <- nil
+			return
+		}
+		admitted <- rel
+	}()
+	waitFor(t, func() bool { return a.Stats()["t"].Queued == 1 })
+
+	// Fourth request sees a full queue: immediate 429-class rejection.
+	if _, err := a.Acquire(ctx, "t"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow acquire = %v, want ErrQueueFull", err)
+	}
+
+	rel1(10) // frees a slot -> the queued waiter is admitted
+	rel3 := <-admitted
+	if rel3 == nil {
+		t.FailNow()
+	}
+	st := a.Stats()["t"]
+	if st.Admitted != 3 || st.RejectedQueueFull != 1 || st.Active != 2 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want 3 admitted, 1 queue-full, 2 active, 0 queued", st)
+	}
+	rel2(0)
+	rel3(5)
+	st = a.Stats()["t"]
+	if st.Active != 0 || st.QuotaSpent != 15 {
+		t.Fatalf("after release: %+v, want 0 active, 15 quota spent", st)
+	}
+}
+
+// TestAdmissionFIFOOrder pins that freed slots go to waiters in arrival
+// order.
+func TestAdmissionFIFOOrder(t *testing.T) {
+	a := NewAdmission(TenantConfig{MaxConcurrent: 1, QueueDepth: 4, QueueWaitMS: 60000}, nil, false)
+	ctx := context.Background()
+	rel, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		// Start waiters strictly one after another so queue order is known.
+		started := make(chan struct{})
+		go func() {
+			close(started)
+			r, err := a.Acquire(ctx, "t")
+			if err != nil {
+				t.Errorf("waiter %d rejected: %v", i, err)
+				wg.Done()
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r(0)
+			wg.Done()
+		}()
+		<-started
+		waitFor(t, func() bool { return a.Stats()["t"].Queued == i+1 })
+	}
+
+	rel(0) // cascade: each release hands the slot to the next waiter
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("admission order = %v, want [0 1 2]", order)
+	}
+}
+
+// TestAdmissionQueueWaitDeadline: a queued request whose wait exceeds the
+// tenant's deadline is rejected with ErrQueueTimeout and removed from the
+// queue.
+func TestAdmissionQueueWaitDeadline(t *testing.T) {
+	a := NewAdmission(TenantConfig{MaxConcurrent: 1, QueueDepth: 4, QueueWaitMS: 30}, nil, false)
+	ctx := context.Background()
+	rel, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := a.Acquire(ctx, "t"); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("queued acquire = %v, want ErrQueueTimeout", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline is 30ms", d)
+	}
+	st := a.Stats()["t"]
+	if st.QueueTimeouts != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want 1 queue timeout, 0 queued", st)
+	}
+	rel(0)
+	// The slot is free again: the next request is admitted directly.
+	rel2, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatalf("post-timeout acquire failed: %v", err)
+	}
+	rel2(0)
+}
+
+// TestAdmissionCancelWhileQueued: cancelling the context of a queued
+// request removes it and reports ErrCancelled.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(TenantConfig{MaxConcurrent: 1, QueueDepth: 4, QueueWaitMS: 60000}, nil, false)
+	rel, err := a.Acquire(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, "t")
+		errc <- err
+	}()
+	waitFor(t, func() bool { return a.Stats()["t"].Queued == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled acquire = %v, want ErrCancelled", err)
+	}
+	st := a.Stats()["t"]
+	if st.Cancelled != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want 1 cancelled, 0 queued", st)
+	}
+	rel(0)
+}
+
+// TestAdmissionQuota: once completed requests have spent the tenant's
+// cumulative oracle-call quota, new requests are rejected until ResetQuota.
+func TestAdmissionQuota(t *testing.T) {
+	a := NewAdmission(TenantConfig{MaxConcurrent: 4, CallQuota: 100}, nil, false)
+	ctx := context.Background()
+	rel, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel(100) // spends the whole quota
+	if _, err := a.Acquire(ctx, "t"); !errors.Is(err, ErrQuotaExhausted) {
+		t.Fatalf("acquire after quota spend = %v, want ErrQuotaExhausted", err)
+	}
+	st := a.Stats()["t"]
+	if st.RejectedQuota != 1 || st.QuotaSpent != 100 || st.QuotaLimit != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !a.ResetQuota("t") {
+		t.Fatal("ResetQuota reported unknown tenant")
+	}
+	rel2, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatalf("acquire after reset = %v", err)
+	}
+	rel2(1)
+	if a.ResetQuota("never-seen") {
+		t.Fatal("ResetQuota invented a tenant")
+	}
+}
+
+// TestAdmissionQuotaCutsQueue: when a completing request spends the last
+// of the tenant's quota, requests already waiting in the queue are
+// rejected immediately with the quota reason instead of burning their
+// wait deadline on a slot that could no longer help them.
+func TestAdmissionQuotaCutsQueue(t *testing.T) {
+	a := NewAdmission(TenantConfig{MaxConcurrent: 1, QueueDepth: 4, QueueWaitMS: 60000, CallQuota: 10}, nil, false)
+	ctx := context.Background()
+	rel, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := a.Acquire(ctx, "t")
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return a.Stats()["t"].Queued == 2 })
+	rel(10) // spends the whole quota: the queue is cut, not handed the slot
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, ErrQuotaExhausted) {
+			t.Fatalf("queued acquire after quota spend = %v, want ErrQuotaExhausted", err)
+		}
+	}
+	st := a.Stats()["t"]
+	if st.RejectedQuota != 2 || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want 2 quota rejections, idle tenant", st)
+	}
+}
+
+// TestAdmissionDynamicTenantCap: a non-strict controller refuses to
+// allocate state beyond maxDynamicTenants lazily-created names, so
+// request-invented tenant names cannot grow it without bound.
+func TestAdmissionDynamicTenantCap(t *testing.T) {
+	a := NewAdmission(TenantConfig{}, map[string]TenantConfig{"declared": {}}, false)
+	a.mu.Lock()
+	for i := 0; i < maxDynamicTenants; i++ {
+		name := fmt.Sprintf("dyn-%d", i)
+		a.tenants[name] = &tenant{name: name, cfg: a.defCfg}
+	}
+	a.mu.Unlock()
+	if _, err := a.Acquire(context.Background(), "one-too-many"); !errors.Is(err, ErrTenantOverflow) {
+		t.Fatalf("acquire past the tenant cap = %v, want ErrTenantOverflow", err)
+	}
+	// Existing tenants — declared or dynamic — still work.
+	for _, name := range []string{"declared", "dyn-0"} {
+		rel, err := a.Acquire(context.Background(), name)
+		if err != nil {
+			t.Fatalf("existing tenant %q rejected: %v", name, err)
+		}
+		rel(0)
+	}
+}
+
+// TestAdmissionStrictTenants: strict mode rejects tenants missing from the
+// table and still serves the declared ones.
+func TestAdmissionStrictTenants(t *testing.T) {
+	a := NewAdmission(TenantConfig{}, map[string]TenantConfig{"known": {}}, true)
+	if _, err := a.Acquire(context.Background(), "stranger"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("stranger acquire = %v, want ErrUnknownTenant", err)
+	}
+	rel, err := a.Acquire(context.Background(), "known")
+	if err != nil {
+		t.Fatalf("known tenant rejected: %v", err)
+	}
+	rel(0)
+}
+
+// TestAdmissionTenantsIsolated: one tenant saturating its limits does not
+// affect another's admission.
+func TestAdmissionTenantsIsolated(t *testing.T) {
+	// QueueDepth -1 normalizes to "no queueing": reject as soon as the
+	// slots are full.
+	a := NewAdmission(TenantConfig{MaxConcurrent: 1, QueueDepth: -1, QueueWaitMS: 30}, nil, false)
+	ctx := context.Background()
+	relA, err := a.Acquire(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a" is saturated (no queue slots) ...
+	if _, err := a.Acquire(ctx, "a"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated tenant acquire = %v, want ErrQueueFull", err)
+	}
+	// ... but "b" sails through.
+	relB, err := a.Acquire(ctx, "b")
+	if err != nil {
+		t.Fatalf("tenant b rejected: %v", err)
+	}
+	relA(0)
+	relB(0)
+}
+
+// TestAdmissionRetryAfter: congestion backs off by the tenant's queue
+// wait, quota exhaustion by a minute.
+func TestAdmissionRetryAfter(t *testing.T) {
+	a := NewAdmission(TenantConfig{QueueWaitMS: 2500}, nil, false)
+	if d := a.RetryAfter("t", ErrQueueFull); d != 2500*time.Millisecond {
+		t.Errorf("RetryAfter(queue full) = %v, want 2.5s", d)
+	}
+	if d := a.RetryAfter("t", ErrQuotaExhausted); d != time.Minute {
+		t.Errorf("RetryAfter(quota) = %v, want 1m", d)
+	}
+}
+
+// waitFor polls a condition with a deadline; admission handoffs are
+// asynchronous but fast.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

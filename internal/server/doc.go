@@ -1,0 +1,63 @@
+// Package server is the HTTP serving front end over repro.Session: a thin
+// JSON API that turns the ctx-aware, concurrent-safe optimizer into a
+// multi-tenant network service with explicit admission control.
+//
+// # Endpoints
+//
+//	POST /v1/optimize  optimize one batch (workload spec or SQL payload);
+//	                   returns the materialization set, a plan summary and
+//	                   the full core.Telemetry of the run
+//	GET  /v1/stats     per-tenant admission counters, session-pool stats
+//	GET  /healthz      200 while serving, 503 while draining
+//
+// # Admission-control contract
+//
+// Every optimize request is attributed to a tenant (the X-Tenant header or
+// the request's "tenant" field; "default" when absent) and passes the
+// tenant's admission gate before any optimizer work happens:
+//
+//   - Concurrency: at most MaxConcurrent requests of a tenant run at once.
+//   - Queueing: excess requests wait in a bounded FIFO queue of QueueDepth
+//     slots. A request whose queue wait exceeds QueueWait is rejected with
+//     503 and a Retry-After header; a request arriving at a full queue is
+//     rejected immediately with 429 and Retry-After. Freed slots are handed
+//     to the queue head, so admission order within a tenant is FIFO.
+//   - Quota: when CallQuota > 0, the tenant's completed requests are
+//     charged their actual Telemetry.OracleCalls; once the cumulative spend
+//     reaches the quota, further requests — including ones already waiting
+//     in the queue, whose wait could no longer help — are rejected with 429
+//     until the quota is reset (Admission.ResetQuota) or raised.
+//   - Budgets: TimeBudget and CallBudget cap each admitted request via
+//     repro.WithTimeBudget / WithOracleCallBudget. A request may ask for
+//     tighter budgets than the tenant's; looser ones are clamped to the
+//     tenant cap. A budgeted run that stops early still returns 200 — the
+//     deterministic best-so-far result with Telemetry.Stopped saying why.
+//   - Cancellation: the request context is the optimize context, so a
+//     client disconnect stops the run between oracle rounds and frees the
+//     tenant's slot promptly.
+//
+// Rejected requests never touch a session: they are not counted in
+// SessionStats and spend no oracle calls. Admitted requests are charged
+// exactly once, on completion, even when the client has gone away.
+//
+// Tenant names are attacker-controlled input: they must be short
+// printable ASCII (400 otherwise), and a non-strict controller allocates
+// state for at most 4096 distinct lazily-created names (429 beyond that),
+// so request-invented tenants cannot grow server memory without bound.
+//
+// # Draining
+//
+// Server.Drain flips the server into draining mode: new optimize requests
+// are rejected with 503 + Retry-After and /healthz turns 503, while
+// requests already admitted (running or queued) finish normally. The
+// mqoserver binary calls Drain on SIGTERM/SIGINT and then http.Server.
+// Shutdown, which waits for the in-flight handlers.
+//
+// # Determinism
+//
+// The front end adds no nondeterminism: for a given spec/SQL payload,
+// strategy and parallelism, the response's materialization set, costs and
+// oracle-call telemetry are bit-identical to a direct Session.Optimize
+// call (the session's shared cost cache can only add SharedHits, never
+// change a result). The e2e tests pin this byte-for-byte.
+package server

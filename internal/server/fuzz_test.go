@@ -1,0 +1,62 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzOptimizeRequest fuzzes the optimize-request decoder end to end:
+// arbitrary bytes must either produce a validated request or an error the
+// handler maps to a 400 — never a panic. Accepted requests must satisfy
+// the decoder's own invariants (exactly one payload, bounded knobs). The
+// seed corpus under testdata/fuzz/FuzzOptimizeRequest pins both payload
+// kinds and each rejection class.
+func FuzzOptimizeRequest(f *testing.F) {
+	seeds := []string{
+		`{"sql": "SELECT l.tax FROM lineitem l"}`,
+		`{"spec": {"queries": 4, "fan_out": 3, "shape": "star"}, "strategy": "marginal"}`,
+		`{"spec": {"seed": 7, "queries": 8, "shape": "mixed", "fan_out": 4, "sharing": 0.5, "select_frac": 0.8, "agg_frac": 0.5}, "strategy": "lazymarginal", "parallelism": 4, "time_budget_ms": 100, "oracle_call_budget": 500}`,
+		`{"tenant": "acme", "sf": 100, "extended_ops": true, "sql": "SELECT l.tax FROM lineitem l", "plan_text": true}`,
+		`{"sql": "x", "spec": {"queries": 1, "fan_out": 2}}`, // both payloads
+		`{}`,                                     // neither payload
+		`{"sql": "x", "strategy": "exhaustive"}`, // unservable strategy
+		`{"sql": "x", "sf": -1}`,                 // bad scale factor
+		`{"sql": "x", "sf": 1e308}`,              // absurd scale factor
+		`{"sql": "x", "parallelism": 100000}`,    // beyond the bound
+		`{"sql": "x", "oracle_call_budget": 0}`,  // zero is meaningful
+		`{"sql": "x", "unknown_field": 1}`,       // strict decode
+		`{"sql": "x"} []`,                        // trailing data
+		`{"spec": {"queries": 2, "fan_out": 2, "shape": "donut"}}`,
+		`not json at all`,
+		`[1,2,3]`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeOptimizeRequest(data, 1024)
+		if err != nil {
+			return // rejected: the handler answers 400
+		}
+		if (req.Spec == nil) == (req.SQL == "") {
+			t.Fatalf("accepted request without exactly one payload: %+v", req)
+		}
+		if req.Spec != nil {
+			if err := req.Spec.Validate(); err != nil {
+				t.Fatalf("accepted request with invalid spec: %v", err)
+			}
+			if req.Spec.Queries > 1024 {
+				t.Fatalf("accepted request above the query cap: %d", req.Spec.Queries)
+			}
+		}
+		if _, err := parseStrategy(req.Strategy); err != nil {
+			t.Fatalf("accepted request with unservable strategy %q", req.Strategy)
+		}
+		if req.Parallelism < 0 || req.Parallelism > maxParallelism {
+			t.Fatalf("accepted request with parallelism %d", req.Parallelism)
+		}
+		if req.TimeBudgetMS < 0 || (req.OracleCallBudget != nil && *req.OracleCallBudget < 0) {
+			t.Fatalf("accepted request with negative budget: %+v", req)
+		}
+	})
+}

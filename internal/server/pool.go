@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cost"
+	"repro/internal/tpcd"
+)
+
+// poolKey identifies one catalog configuration: sessions are shared by
+// every request naming the same scale factor and operator set, so their
+// cross-call cost caches warm each other.
+type poolKey struct {
+	sf       float64
+	extended bool
+}
+
+func (k poolKey) String() string {
+	if k.extended {
+		return fmt.Sprintf("sf=%g+hash", k.sf)
+	}
+	return fmt.Sprintf("sf=%g", k.sf)
+}
+
+// poolEntry is one pooled session with its recency stamp.
+type poolEntry struct {
+	sess    *repro.Session
+	lastUse time.Time
+}
+
+// sessionPool lazily creates and caches repro.Sessions keyed by catalog.
+// At most max sessions are kept: creating one past the bound evicts the
+// least-recently-used entry and invalidates its shared cost cache, so the
+// evicted cache memory is released promptly. Get never evicts a session
+// out from under an in-flight request — sessions are self-contained, the
+// pool only drops its reference.
+type sessionPool struct {
+	mu      sync.Mutex
+	max     int
+	entries map[poolKey]*poolEntry
+	now     func() time.Time // test hook
+}
+
+func newSessionPool(max int) *sessionPool {
+	if max <= 0 {
+		max = 4
+	}
+	return &sessionPool{
+		max:     max,
+		entries: make(map[poolKey]*poolEntry),
+		now:     time.Now,
+	}
+}
+
+// get returns the session for the key, creating it on first use. The
+// catalog and session are built outside the pool mutex so one request's
+// cold-catalog construction never stalls requests on warm keys (two
+// concurrent cold requests may both build; the loser's session is
+// discarded before anything used it).
+func (p *sessionPool) get(key poolKey) (*repro.Session, error) {
+	p.mu.Lock()
+	if e, ok := p.entries[key]; ok {
+		e.lastUse = p.now()
+		p.mu.Unlock()
+		return e.sess, nil
+	}
+	p.mu.Unlock()
+
+	sess, err := repro.NewSession(tpcd.Catalog(key.sf), cost.Default(),
+		repro.WithExtendedOps(key.extended))
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[key]; ok { // a concurrent builder won the race
+		e.lastUse = p.now()
+		return e.sess, nil
+	}
+	if len(p.entries) >= p.max {
+		p.evictLRULocked()
+	}
+	p.entries[key] = &poolEntry{sess: sess, lastUse: p.now()}
+	return sess, nil
+}
+
+// evictLRULocked drops the least-recently-used entry and invalidates its
+// cache (the pool's side of the session cache-invalidation hook).
+func (p *sessionPool) evictLRULocked() {
+	var (
+		oldestKey poolKey
+		oldest    *poolEntry
+	)
+	for k, e := range p.entries {
+		if oldest == nil || e.lastUse.Before(oldest.lastUse) {
+			oldestKey, oldest = k, e
+		}
+	}
+	if oldest != nil {
+		delete(p.entries, oldestKey)
+		oldest.sess.InvalidateCache()
+	}
+}
+
+// PoolEntryStats is one pooled session's view in /v1/stats.
+type PoolEntryStats struct {
+	Catalog     string             `json:"catalog"`
+	IdleNS      int64              `json:"idle_ns"`
+	Session     repro.SessionStats `json:"session"`
+	ExtendedOps bool               `json:"extended_ops"`
+	SF          float64            `json:"sf"`
+}
+
+// stats snapshots every pooled session.
+func (p *sessionPool) stats() []PoolEntryStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	out := make([]PoolEntryStats, 0, len(p.entries))
+	for k, e := range p.entries {
+		out = append(out, PoolEntryStats{
+			Catalog:     k.String(),
+			IdleNS:      now.Sub(e.lastUse).Nanoseconds(),
+			Session:     e.sess.Stats(),
+			ExtendedOps: k.extended,
+			SF:          k.sf,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Catalog < out[j].Catalog })
+	return out
+}

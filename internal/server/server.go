@@ -1,0 +1,377 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"slices"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/logical"
+	"repro/internal/parser"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Server. The zero value serves with the default
+// tenant config, a 4-session pool and a 1 MiB body limit.
+type Config struct {
+	// DefaultTenant is the admission config applied to tenants not listed
+	// in Tenants (rejected instead when StrictTenants).
+	DefaultTenant TenantConfig
+	// Tenants pre-declares named tenants with their own limits.
+	Tenants map[string]TenantConfig
+	// StrictTenants rejects requests from tenants missing from Tenants
+	// with 403 instead of admitting them under DefaultTenant.
+	StrictTenants bool
+	// PoolSize bounds the session pool (default 4 catalogs).
+	PoolSize int
+	// MaxBodyBytes bounds an optimize request body (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxQueries bounds the batch size one request may carry, spec or SQL
+	// (default 1024; < 0 disables the bound).
+	MaxQueries int
+	// DefaultSF is the catalog scale factor when a request names none
+	// (default 1).
+	DefaultSF float64
+	// AllowedSFs lists the scale factors requests may name. The sf is a
+	// session-pool key, so an open set would let one tenant flush every
+	// pooled session (and its warm cost cache) just by cycling fresh
+	// values. Default {1, 10, 100}; DefaultSF is always included.
+	AllowedSFs []float64
+	// Logger receives request-level diagnostics; nil discards them.
+	Logger *log.Logger
+}
+
+func (c Config) normalize() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	switch {
+	case c.MaxQueries < 0:
+		c.MaxQueries = 0
+	case c.MaxQueries == 0:
+		c.MaxQueries = 1024
+	}
+	if c.DefaultSF <= 0 {
+		c.DefaultSF = 1
+	}
+	if len(c.AllowedSFs) == 0 {
+		c.AllowedSFs = []float64{1, 10, 100}
+	}
+	if !slices.Contains(c.AllowedSFs, c.DefaultSF) {
+		c.AllowedSFs = append(c.AllowedSFs, c.DefaultSF)
+	}
+	return c
+}
+
+// Server is the HTTP front end; construct with New, mount Handler.
+type Server struct {
+	cfg      Config
+	adm      *Admission
+	pool     *sessionPool
+	started  time.Time
+	draining atomic.Bool
+
+	// preOptimize, when non-nil, runs after admission and before the
+	// optimizer is invoked. Tests use it to hold admitted requests at a
+	// deterministic point (filling slots and queues) and to observe the
+	// request context.
+	preOptimize func(ctx context.Context, req *OptimizeRequest)
+}
+
+// New builds a Server over its config.
+func New(cfg Config) *Server {
+	cfg = cfg.normalize()
+	return &Server{
+		cfg:     cfg,
+		adm:     NewAdmission(cfg.DefaultTenant, cfg.Tenants, cfg.StrictTenants),
+		pool:    newSessionPool(cfg.PoolSize),
+		started: time.Now(),
+	}
+}
+
+// Admission exposes the admission controller (quota resets, stats).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Drain flips the server into draining mode: /healthz turns 503 and new
+// optimize requests are rejected with 503 + Retry-After, while already
+// admitted requests run to completion. Callers then use
+// http.Server.Shutdown to wait for the in-flight handlers.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the server's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body) // the client may be gone; nothing to do about it
+}
+
+// writeError writes the error body, with a Retry-After header (whole
+// seconds, rounded up, ≥ 1) when retryAfter > 0.
+func writeError(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
+	body := errorBody{Error: msg}
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		body.RetryAfterMS = retryAfter.Milliseconds()
+	}
+	writeJSON(w, status, body)
+}
+
+// tenantOf resolves the request's tenant: X-Tenant header first, then the
+// body field, then "default".
+func tenantOf(r *http.Request, req *OptimizeRequest) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if req.Tenant != "" {
+		return req.Tenant
+	}
+	return "default"
+}
+
+// maxTenantNameLen bounds tenant names: they become map keys, stats keys
+// and log fields, so an attacker-sized header must not inflate them.
+const maxTenantNameLen = 100
+
+// validTenantName accepts short printable-ASCII names without spaces —
+// safe as JSON keys, header echoes and log fields.
+func validTenantName(s string) bool {
+	if len(s) == 0 || len(s) > maxTenantNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' || s[i] >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// buildBatch materializes the request's batch: the workload generator for
+// spec payloads, the SQL parser for sql payloads.
+func (s *Server) buildBatch(req *OptimizeRequest) (*logical.Batch, error) {
+	if req.Spec != nil {
+		return workload.Generate(*req.Spec)
+	}
+	batch, err := parser.ParseBatch(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.MaxQueries > 0 && len(batch.Queries) > s.cfg.MaxQueries {
+		return nil, errors.New("sql batch exceeds the server's query cap")
+	}
+	return batch, nil
+}
+
+// optimizeOptions maps the request and its tenant's caps onto Session
+// options: the effective budget is the tighter of the request's ask and
+// the tenant's cap.
+func optimizeOptions(req *OptimizeRequest, cfg TenantConfig) []repro.Option {
+	strat, _ := parseStrategy(req.Strategy) // validated at decode time
+	opts := []repro.Option{
+		repro.WithStrategy(strat),
+		repro.WithParallelism(req.Parallelism),
+	}
+	timeMS := req.TimeBudgetMS
+	if cfg.TimeBudgetMS > 0 && (timeMS == 0 || timeMS > cfg.TimeBudgetMS) {
+		timeMS = cfg.TimeBudgetMS
+	}
+	if timeMS > 0 {
+		opts = append(opts, repro.WithTimeBudget(time.Duration(timeMS)*time.Millisecond))
+	}
+	callBudget := -1
+	if req.OracleCallBudget != nil {
+		callBudget = *req.OracleCallBudget
+	}
+	if cfg.CallBudget > 0 && (callBudget < 0 || callBudget > cfg.CallBudget) {
+		callBudget = cfg.CallBudget
+	}
+	if callBudget >= 0 {
+		opts = append(opts, repro.WithOracleCallBudget(callBudget))
+	}
+	return opts
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining", 5*time.Second)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body too large", 0)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error(), 0)
+		return
+	}
+	req, err := decodeOptimizeRequest(body, s.cfg.MaxQueries)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	tenantName := tenantOf(r, req)
+	if !validTenantName(tenantName) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("tenant name must be 1..%d printable non-space ASCII characters", maxTenantNameLen), 0)
+		return
+	}
+	ctx := r.Context()
+
+	queuedAt := time.Now()
+	release, err := s.adm.Acquire(ctx, tenantName)
+	if err != nil {
+		s.rejected(w, tenantName, err)
+		return
+	}
+	queueWait := time.Since(queuedAt)
+	// Charge the admission slot and the tenant quota exactly once, with
+	// whatever the run actually spent.
+	spent := 0
+	defer func() { release(spent) }()
+
+	if s.preOptimize != nil {
+		s.preOptimize(ctx, req)
+	}
+
+	batch, err := s.buildBatch(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	sf := req.SF
+	if sf == 0 {
+		sf = s.cfg.DefaultSF
+	}
+	if !slices.Contains(s.cfg.AllowedSFs, sf) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("sf %v is not served; allowed scale factors: %v", sf, s.cfg.AllowedSFs), 0)
+		return
+	}
+	sess, err := s.pool.get(poolKey{sf: sf, extended: req.ExtendedOps})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	cfg := s.adm.Config(tenantName)
+	res, err := sess.Optimize(ctx, batch, optimizeOptions(req, cfg)...)
+	if err != nil {
+		// NewOptimizer rejects batches that are invalid against the
+		// catalog (unknown tables/columns, malformed predicates): the
+		// request's fault, not the server's.
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	spent = res.Telemetry.OracleCalls
+
+	strat, _ := parseStrategy(req.Strategy)
+	resp := &OptimizeResponse{
+		Tenant:       tenantName,
+		Strategy:     strat.String(),
+		Queries:      len(batch.Queries),
+		Materialized: make([]int, 0, len(res.Materialized)),
+		CostMS:       res.Cost,
+		VolcanoMS:    res.VolcanoCost,
+		BenefitMS:    res.Benefit,
+		Plan:         summarizePlan(res.Plan),
+		Telemetry:    res.Telemetry,
+		BuildNS:      res.BuildTime.Nanoseconds(),
+		OptNS:        res.OptTime.Nanoseconds(),
+		ExtractNS:    res.ExtractTime.Nanoseconds(),
+		QueueWaitNS:  queueWait.Nanoseconds(),
+	}
+	for _, g := range res.Materialized {
+		resp.Materialized = append(resp.Materialized, int(g))
+	}
+	if req.PlanText {
+		resp.PlanText = res.Plan.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rejected maps an admission error onto its HTTP status.
+func (s *Server) rejected(w http.ResponseWriter, tenant string, err error) {
+	retry := s.adm.RetryAfter(tenant, err)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error(), retry)
+	case errors.Is(err, ErrQuotaExhausted):
+		writeError(w, http.StatusTooManyRequests, err.Error(), retry)
+	case errors.Is(err, ErrTenantOverflow):
+		writeError(w, http.StatusTooManyRequests, err.Error(), retry)
+	case errors.Is(err, ErrQueueTimeout):
+		writeError(w, http.StatusServiceUnavailable, err.Error(), retry)
+	case errors.Is(err, ErrUnknownTenant):
+		writeError(w, http.StatusForbidden, err.Error(), 0)
+	case errors.Is(err, ErrCancelled):
+		// The client is gone; the status is never seen. 499 is the
+		// conventional nginx code for this.
+		w.WriteHeader(499)
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+	}
+	s.logf("server: %s: rejected: %v", tenant, err)
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeNS int64                  `json:"uptime_ns"`
+	Draining bool                   `json:"draining"`
+	Tenants  map[string]TenantStats `json:"tenants"`
+	Pool     []PoolEntryStats       `json:"pool"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		UptimeNS: time.Since(s.started).Nanoseconds(),
+		Draining: s.draining.Load(),
+		Tenants:  s.adm.Stats(),
+		Pool:     s.pool.stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]string{"status": state})
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/physical"
+	"repro/internal/strictjson"
+	"repro/internal/workload"
+)
+
+// Wire limits. Body size is enforced by the HTTP layer (MaxBytesReader);
+// these bound what a well-formed body may ask for.
+const (
+	// maxSQLBytes caps the SQL payload of one request.
+	maxSQLBytes = 256 * 1024
+	// maxScaleFactor caps the catalog scale factor a request may name.
+	maxScaleFactor = 100000
+	// maxParallelism caps the per-request worker-pool override.
+	maxParallelism = 256
+)
+
+// OptimizeRequest is the body of POST /v1/optimize. Exactly one of Spec
+// (a workload-generator spec) and SQL (a semicolon-separated SELECT batch)
+// must be set.
+type OptimizeRequest struct {
+	// Tenant attributes the request for admission control; the X-Tenant
+	// header takes precedence. Empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+	// SF is the TPCD catalog scale factor the session pool keys on
+	// (default 1).
+	SF float64 `json:"sf,omitempty"`
+	// ExtendedOps enables the extended operator set (hash join, hash
+	// aggregation) for this request's catalog key.
+	ExtendedOps bool `json:"extended_ops,omitempty"`
+	// Strategy names the MQO algorithm: volcano, greedy, lazygreedy,
+	// marginal, lazymarginal, materializeall or volcanosh (default
+	// marginal). Exhaustive is not servable — its cost is exponential.
+	Strategy string `json:"strategy,omitempty"`
+	// Parallelism overrides the oracle worker-pool bound (0 = GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeBudgetMS caps the optimization wall clock; clamped to the
+	// tenant's TimeBudgetMS when that is set.
+	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
+	// OracleCallBudget caps the memoized-distinct oracle calls; 0 is
+	// meaningful (forbid all calls — the strategies return the empty set),
+	// hence the pointer. Clamped to the tenant's CallBudget when set.
+	OracleCallBudget *int `json:"oracle_call_budget,omitempty"`
+	// Spec generates the batch with the seeded workload generator.
+	Spec *workload.Spec `json:"spec,omitempty"`
+	// SQL is parsed by internal/parser into the batch.
+	SQL string `json:"sql,omitempty"`
+	// PlanText asks for the rendered consolidated plan in the response.
+	PlanText bool `json:"plan_text,omitempty"`
+}
+
+// decodeOptimizeRequest parses and validates one request body. It is
+// strict — unknown fields, trailing data and out-of-range knobs are all
+// errors — and never panics, so every failure maps to a 400. maxQueries
+// bounds the batch size a spec may request (0 = no bound).
+func decodeOptimizeRequest(data []byte, maxQueries int) (*OptimizeRequest, error) {
+	var req OptimizeRequest
+	if err := strictjson.Decode(data, &req); err != nil {
+		return nil, fmt.Errorf("decoding request: %w", err)
+	}
+	if err := req.validate(maxQueries); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func (r *OptimizeRequest) validate(maxQueries int) error {
+	if (r.Spec == nil) == (r.SQL == "") {
+		return errors.New(`exactly one of "spec" and "sql" must be set`)
+	}
+	if len(r.SQL) > maxSQLBytes {
+		return fmt.Errorf("sql payload exceeds %d bytes", maxSQLBytes)
+	}
+	if math.IsNaN(r.SF) || r.SF < 0 || r.SF > maxScaleFactor {
+		return fmt.Errorf("sf must be 0 (server default) or in (0, %d], got %v", maxScaleFactor, r.SF)
+	}
+	if _, err := parseStrategy(r.Strategy); err != nil {
+		return err
+	}
+	if r.Parallelism < 0 || r.Parallelism > maxParallelism {
+		return fmt.Errorf("parallelism must be in [0, %d], got %d", maxParallelism, r.Parallelism)
+	}
+	if r.TimeBudgetMS < 0 {
+		return fmt.Errorf("time_budget_ms must be ≥ 0, got %d", r.TimeBudgetMS)
+	}
+	if r.OracleCallBudget != nil && *r.OracleCallBudget < 0 {
+		return fmt.Errorf("oracle_call_budget must be ≥ 0, got %d", *r.OracleCallBudget)
+	}
+	if r.Spec != nil {
+		if err := r.Spec.Validate(); err != nil {
+			return err
+		}
+		if maxQueries > 0 && r.Spec.Queries > maxQueries {
+			return fmt.Errorf("spec asks for %d queries, server caps batches at %d", r.Spec.Queries, maxQueries)
+		}
+	}
+	return nil
+}
+
+// parseStrategy maps the wire name onto a core.Strategy. Exhaustive is
+// deliberately unreachable from the wire: it is exponential in the
+// shareable-node count and panics beyond 25 nodes.
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "", "marginal":
+		return core.MarginalGreedy, nil
+	case "lazymarginal":
+		return core.LazyMarginalGreedy, nil
+	case "greedy":
+		return core.Greedy, nil
+	case "lazygreedy":
+		return core.LazyGreedyStrategy, nil
+	case "volcano":
+		return core.Volcano, nil
+	case "volcanosh":
+		return core.VolcanoSH, nil
+	case "materializeall":
+		return core.MaterializeAll, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want volcano, greedy, lazygreedy, marginal, lazymarginal, materializeall or volcanosh)", s)
+}
+
+// OptimizeResponse is the body of a successful POST /v1/optimize. Costs
+// are model milliseconds (the unit of bestCost); durations are
+// nanoseconds, matching the Telemetry tags.
+type OptimizeResponse struct {
+	Tenant       string         `json:"tenant"`
+	Strategy     string         `json:"strategy"`
+	Queries      int            `json:"queries"`
+	Materialized []int          `json:"materialized"`
+	CostMS       float64        `json:"cost_ms"`
+	VolcanoMS    float64        `json:"volcano_cost_ms"`
+	BenefitMS    float64        `json:"benefit_ms"`
+	Plan         PlanSummary    `json:"plan"`
+	PlanText     string         `json:"plan_text,omitempty"`
+	Telemetry    core.Telemetry `json:"telemetry"`
+	BuildNS      int64          `json:"build_ns"`
+	OptNS        int64          `json:"opt_ns"`
+	ExtractNS    int64          `json:"extract_ns"`
+	QueueWaitNS  int64          `json:"queue_wait_ns"`
+}
+
+// PlanSummary condenses the consolidated plan: one row per
+// materialization step and per query, plus the audited total.
+type PlanSummary struct {
+	Steps   []StepSummary  `json:"steps"`
+	Queries []QuerySummary `json:"queries"`
+	TotalMS float64        `json:"total_ms"`
+}
+
+// StepSummary is one materialization of the consolidated plan.
+type StepSummary struct {
+	Group       int     `json:"group"`
+	Op          string  `json:"op"`
+	Rows        float64 `json:"rows"`
+	CostMS      float64 `json:"cost_ms"`
+	WriteCostMS float64 `json:"write_cost_ms"`
+}
+
+// QuerySummary is one query's plan under the chosen materializations.
+type QuerySummary struct {
+	Name      string  `json:"name"`
+	Operators int     `json:"operators"`
+	CostMS    float64 `json:"cost_ms"`
+}
+
+// summarizePlan flattens a ConsolidatedPlan into the wire summary.
+func summarizePlan(cp *physical.ConsolidatedPlan) PlanSummary {
+	ps := PlanSummary{
+		Steps:   make([]StepSummary, 0, len(cp.Steps)),
+		Queries: make([]QuerySummary, 0, len(cp.Queries)),
+		TotalMS: cp.Total,
+	}
+	for _, st := range cp.Steps {
+		ps.Steps = append(ps.Steps, StepSummary{
+			Group:       int(st.Group),
+			Op:          st.Plan.Op,
+			Rows:        st.Plan.Rows,
+			CostMS:      st.Plan.Cost,
+			WriteCostMS: st.WriteCost,
+		})
+	}
+	for i, q := range cp.Queries {
+		name := ""
+		if i < len(cp.QueryNames) {
+			name = cp.QueryNames[i]
+		}
+		ps.Queries = append(ps.Queries, QuerySummary{
+			Name:      name,
+			Operators: countOps(q),
+			CostMS:    q.Cost,
+		})
+	}
+	return ps
+}
+
+func countOps(p *physical.PlanNode) int {
+	if p == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range p.Children {
+		n += countOps(c)
+	}
+	return n
+}
+
+// errorBody is the JSON body of every non-2xx response.
+type errorBody struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}

@@ -1,0 +1,28 @@
+// Package strictjson decodes JSON with the strictness a network wire
+// format wants: unknown fields are errors (a typoed knob must never
+// silently fall back to a default) and so is trailing data after the
+// value. Every wire decoder in the module — the serving front end's
+// request body, the workload spec, the mqoserver tenant table — goes
+// through Decode so the surfaces cannot drift apart in strictness.
+package strictjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+// Decode parses exactly one JSON value from data into v, rejecting
+// unknown fields and trailing non-whitespace.
+func Decode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package strictjson
+
+import "testing"
+
+func TestDecode(t *testing.T) {
+	type target struct {
+		A int    `json:"a"`
+		B string `json:"b,omitempty"`
+	}
+	cases := []struct {
+		name  string
+		input string
+		ok    bool
+	}{
+		{"valid", `{"a": 1, "b": "x"}`, true},
+		{"valid with whitespace", " {\"a\": 1}\n\t ", true},
+		{"unknown field", `{"a": 1, "zz": 2}`, false},
+		{"trailing value", `{"a": 1} {"a": 2}`, false},
+		{"trailing garbage", `{"a": 1} nonsense`, false},
+		{"wrong type", `{"a": "one"}`, false},
+		{"truncated", `{"a": 1`, false},
+		{"empty", ``, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var v target
+			err := Decode([]byte(tc.input), &v)
+			if (err == nil) != tc.ok {
+				t.Fatalf("Decode(%q) error = %v, want ok=%v", tc.input, err, tc.ok)
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package submod
 
-import "context"
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
 
 // StopReason says why a maximization run ended before its natural
 // termination; StopNone marks a complete run.
@@ -32,6 +36,41 @@ func (r StopReason) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParseStopReason is the inverse of String for the defined reasons.
+func ParseStopReason(s string) (StopReason, error) {
+	switch s {
+	case "none":
+		return StopNone, nil
+	case "cancelled":
+		return StopCancelled, nil
+	case "time-budget":
+		return StopTimeBudget, nil
+	case "call-budget":
+		return StopCallBudget, nil
+	}
+	return 0, fmt.Errorf("submod: unknown stop reason %q", s)
+}
+
+// MarshalJSON renders the reason as its String form, so telemetry on the
+// wire says "time-budget" rather than an opaque integer.
+func (r StopReason) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
+// UnmarshalJSON parses the String form written by MarshalJSON.
+func (r *StopReason) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParseStopReason(s)
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
 }
 
 // Progress is a per-round report delivered to a Control's OnProgress

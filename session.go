@@ -104,14 +104,23 @@ func WithMemoOptions(opts ...memo.Option) Option {
 }
 
 // SessionStats aggregates telemetry across a session's Optimize calls.
+// Every counter is the exact sum of the corresponding per-call Telemetry
+// field, so a caller holding all RunResults can reconcile the aggregate
+// against them (the serving front end's race-stress tests do). The JSON
+// tags are the wire contract of /v1/stats; durations marshal as
+// nanoseconds.
 type SessionStats struct {
-	Batches     int           // Optimize calls completed
-	Interrupted int           // calls stopped by a budget or cancellation
-	OracleCalls int           // total memoized-distinct oracle calls
-	BCCalls     int           // total bestCost invocations
-	BuildTime   time.Duration // DAG construction
-	OptTime     time.Duration // strategy runs
-	ExtractTime time.Duration // consolidated-plan extraction
+	Batches       int           `json:"batches"`             // Optimize calls completed
+	Interrupted   int           `json:"interrupted"`         // calls stopped by a budget or cancellation
+	OracleCalls   int           `json:"oracle_calls"`        // total memoized-distinct oracle calls
+	BCCalls       int           `json:"bc_calls"`            // total bestCost invocations
+	CacheHits     int           `json:"cache_hits"`          // worker-private (L1) cache hits
+	SharedHits    int           `json:"shared_hits"`         // session SharedCache (L2) hits
+	Rounds        int           `json:"rounds"`              // completed greedy rounds
+	Invalidations int           `json:"cache_invalidations"` // InvalidateCache calls
+	BuildTime     time.Duration `json:"build_ns"`            // DAG construction
+	OptTime       time.Duration `json:"opt_ns"`              // strategy runs
+	ExtractTime   time.Duration `json:"extract_ns"`          // consolidated-plan extraction
 }
 
 // Session is a long-lived handle for optimizing many batches against one
@@ -161,8 +170,15 @@ func NewSession(cat *catalog.Catalog, model cost.Model, opts ...Option) (*Sessio
 // InvalidateCache drops the session's shared cross-call cost cache in
 // O(1). Correctness never requires it — entries are namespaced by DAG
 // fingerprint and operator flags — but a long-running session may use it
-// to bound memory or force cold-cache measurements.
-func (s *Session) InvalidateCache() { s.cache.Invalidate() }
+// to bound memory or force cold-cache measurements. A session pool evicting
+// this session should call it so the dropped entry releases its cache
+// memory immediately; Stats counts the invalidations.
+func (s *Session) InvalidateCache() {
+	s.cache.Invalidate()
+	s.mu.Lock()
+	s.stats.Invalidations++
+	s.mu.Unlock()
+}
 
 // RunResult is the outcome of one Session.Optimize call: the strategy
 // result (with telemetry), the extracted consolidated plan, and the
@@ -239,6 +255,9 @@ func (s *Session) Optimize(ctx context.Context, batch *logical.Batch, opts ...Op
 	}
 	s.stats.OracleCalls += res.Telemetry.OracleCalls
 	s.stats.BCCalls += res.Telemetry.BCCalls
+	s.stats.CacheHits += res.Telemetry.CacheHits
+	s.stats.SharedHits += res.Telemetry.SharedHits
+	s.stats.Rounds += res.Telemetry.Rounds
 	s.stats.BuildTime += build
 	s.stats.OptTime += res.OptTime
 	s.stats.ExtractTime += extract

@@ -9,6 +9,8 @@
 //	          [-max-concurrent 4] [-queue-depth 16] [-queue-wait 5s]
 //	          [-time-budget 0] [-call-budget 0] [-call-quota 0]
 //	          [-drain-grace 2s] [-drain-timeout 30s]
+//	          [-breaker-off] [-breaker-failures 3] [-breaker-cooldown 10s]
+//	          [-degraded-time-budget 2s] [-degraded-call-budget 50000]
 //
 // The -tenants file is a JSON object mapping tenant name to its limits;
 // the -max-concurrent/-queue-*/-*-budget flags configure the default
@@ -19,6 +21,12 @@
 //	            "time_budget_ms": 1000, "call_budget": 20000, "call_quota": 1000000},
 //	  "guest": {"max_concurrent": 1, "queue_depth": 4, "call_quota": 50000}
 //	}
+//
+// Each catalog (scale factor + operator set) carries a circuit breaker:
+// repeated recovered panics or deadline stops move it to degraded serving
+// (clamped budgets, LazyGreedy fallback, "degraded":true in responses) and
+// then to open (503 + Retry-After until -breaker-cooldown admits a probe).
+// -breaker-off disables it entirely.
 //
 // On SIGTERM/SIGINT the server drains: for -drain-grace the listener
 // stays open while /healthz answers 503 (so load balancers observe the
@@ -62,6 +70,12 @@ func main() {
 		callQuota     = flag.Int64("call-quota", 0, "default tenant: cumulative oracle-call quota (0 = unlimited)")
 		drainGrace    = flag.Duration("drain-grace", 2*time.Second, "how long to keep answering (503) after SIGTERM so load balancers observe the drain before the listener closes")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get after SIGTERM")
+
+		breakerOff      = flag.Bool("breaker-off", false, "disable the per-catalog circuit breaker")
+		breakerFailures = flag.Int("breaker-failures", 3, "consecutive faults that degrade a catalog, and again that open it; consecutive successes that close it")
+		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open catalog rejects before admitting a degraded probe")
+		degradedTime    = flag.Duration("degraded-time-budget", 2*time.Second, "wall-clock clamp on requests served degraded")
+		degradedCalls   = flag.Int("degraded-call-budget", 50000, "oracle-call clamp on requests served degraded")
 	)
 	flag.Parse()
 
@@ -79,6 +93,15 @@ func main() {
 		MaxQueries:    *maxQueries,
 		DefaultSF:     *sf,
 		Logger:        log.Default(),
+		Breaker: server.BreakerConfig{
+			Disabled:             *breakerOff,
+			FailureThreshold:     *breakerFailures,
+			OpenThreshold:        *breakerFailures,
+			RecoveryThreshold:    *breakerFailures,
+			CooldownMS:           breakerCooldown.Milliseconds(),
+			DegradedTimeBudgetMS: degradedTime.Milliseconds(),
+			DegradedCallBudget:   *degradedCalls,
+		},
 	}
 	for _, part := range strings.Split(*sfs, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)

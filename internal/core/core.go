@@ -163,6 +163,14 @@ type Result struct {
 	OptTime      time.Duration
 	OracleCalls  int       // memoized-distinct bestCost evaluations
 	Telemetry    Telemetry // per-phase accounting and stop reason
+	// Checkpoint, set when a resumable lazy strategy stopped early, is the
+	// round-boundary snapshot ResumeWith continues from bit-identically.
+	Checkpoint *submod.Checkpoint
+	// Fault is the panic a batch worker recovered when Telemetry.Stopped is
+	// StopPanic (a *faultinject.PanicError). A faulted result carries the
+	// committed greedy prefix and its checkpoint but no Cost/Benefit: the
+	// searcher's caches may be inconsistent, so it is not consulted again.
+	Fault error
 }
 
 // MatSet returns the chosen materialization set.
@@ -238,6 +246,11 @@ func (f *BenefitFunc) EvalBatch(sets []submod.Set) ([]float64, bool) {
 	return out, ok
 }
 
+// Fault drains the panic the searcher's most recent batch recovered, if
+// any (submod.Faulter): the oracle classifies an aborted batch as
+// StopPanic when this is non-nil.
+func (f *BenefitFunc) Fault() error { return f.Opt.Searcher.TakeFault() }
+
 // Interacts reports whether materializing node x can change node e's
 // marginal benefit: true exactly when some query root's cone contains
 // both nodes (physical.Searcher.SharesQueryRoot). It implements
@@ -269,6 +282,50 @@ func Run(opt *volcano.Optimizer, strat Strategy) Result {
 // explaining where the time and oracle calls went. With no budget set the
 // chosen sets and costs are bit-identical to Run.
 func RunWith(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Config) Result {
+	res, err := run(ctx, opt, strat, cfg, nil)
+	if err != nil {
+		// run only fails validating a resume checkpoint, and none was given.
+		panic("core: " + err.Error())
+	}
+	return res
+}
+
+// StrategyOfAlgorithm maps a checkpoint's algorithm name back to its
+// strategy; only the resumable lazy drivers have one.
+func StrategyOfAlgorithm(name string) (Strategy, error) {
+	switch name {
+	case "Greedy":
+		return Greedy, nil
+	case "LazyGreedy":
+		return LazyGreedyStrategy, nil
+	case "MarginalGreedy":
+		return MarginalGreedy, nil
+	case "LazyMarginalGreedy":
+		return LazyMarginalGreedy, nil
+	}
+	return 0, fmt.Errorf("core: %q is not a resumable strategy", name)
+}
+
+// ResumeWith continues a run from a round-boundary checkpoint instead of
+// restarting it. The strategy is the checkpoint's; budgets, cancellation
+// and telemetry work exactly as in RunWith, and the resumed run can itself
+// stop and export a further checkpoint. Against the same search space the
+// final materialization set is bit-identical to a run that was never
+// interrupted; Telemetry counts only this continuation's oracle work,
+// while Rounds/Pruned/Stale/Reused continue the interrupted run's counts.
+func ResumeWith(ctx context.Context, opt *volcano.Optimizer, cp *submod.Checkpoint, cfg Config) (Result, error) {
+	if cp == nil {
+		return Result{}, fmt.Errorf("core: resume requires a checkpoint")
+	}
+	strat, err := StrategyOfAlgorithm(cp.Algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	return run(ctx, opt, strat, cfg, cp)
+}
+
+// run is the shared body of RunWith and ResumeWith.
+func run(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Config, resume *submod.Checkpoint) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -281,7 +338,7 @@ func RunWith(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Co
 		defer cancel()
 	}
 	if strat == VolcanoSH {
-		return runVolcanoSH(ctx, opt, cfg)
+		return runVolcanoSH(ctx, opt, cfg), nil
 	}
 	start := nowFunc()
 	bc0, hit0, sh0, key0 := opt.Searcher.BCCalls, opt.Searcher.CacheHits, opt.Searcher.SharedHits, opt.Searcher.ComputedKey
@@ -295,33 +352,41 @@ func RunWith(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Co
 	})
 	var r submod.Result
 	setupEnd := nowFunc()
-	switch strat {
-	case Volcano:
-		r = submod.Result{Set: submod.Set{}}
-	case Greedy:
-		r = submod.Greedy(oracle)
-	case LazyGreedyStrategy:
-		r = submod.LazyGreedy(oracle)
-	case MarginalGreedy:
-		d := submod.DecomposeStar(oracle)
-		setupEnd = nowFunc()
-		r = submod.MarginalGreedy(d)
-	case LazyMarginalGreedy:
-		d := submod.DecomposeStar(oracle)
-		setupEnd = nowFunc()
-		r = submod.LazyMarginalGreedy(d)
-	case MaterializeAll:
-		// No oracle rounds to bound, but the budget contract ("n = 0
-		// forbids any materialization") and cancellation still apply.
-		if oracle.Interrupted() {
-			r = submod.Result{Stopped: oracle.StopReason()}
-		} else {
-			r = submod.Result{Set: oracle.Universe()}
+	if resume != nil {
+		var err error
+		r, err = submod.ResumeLazy(oracle, resume)
+		if err != nil {
+			return Result{}, err
 		}
-	case Exhaustive:
-		r = submod.Exhaustive(oracle)
-	default:
-		panic("core: unknown strategy")
+	} else {
+		switch strat {
+		case Volcano:
+			r = submod.Result{Set: submod.Set{}}
+		case Greedy:
+			r = submod.Greedy(oracle)
+		case LazyGreedyStrategy:
+			r = submod.LazyGreedy(oracle)
+		case MarginalGreedy:
+			d := submod.DecomposeStar(oracle)
+			setupEnd = nowFunc()
+			r = submod.MarginalGreedy(d)
+		case LazyMarginalGreedy:
+			d := submod.DecomposeStar(oracle)
+			setupEnd = nowFunc()
+			r = submod.LazyMarginalGreedy(d)
+		case MaterializeAll:
+			// No oracle rounds to bound, but the budget contract ("n = 0
+			// forbids any materialization") and cancellation still apply.
+			if oracle.Interrupted() {
+				r = submod.Result{Stopped: oracle.StopReason()}
+			} else {
+				r = submod.Result{Set: oracle.Universe()}
+			}
+		case Exhaustive:
+			r = submod.Exhaustive(oracle)
+		default:
+			panic("core: unknown strategy")
+		}
 	}
 	searchEnd := nowFunc()
 	nodes := f.ToNodes(r.Set)
@@ -331,9 +396,13 @@ func RunWith(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Co
 		Set:          opt.NewNodeSet(nodes...),
 		VolcanoCost:  f.Base(),
 		OracleCalls:  oracle.Calls,
+		Checkpoint:   r.Checkpoint,
+		Fault:        oracle.Fault(),
 	}
-	res.Cost = opt.BestCost(res.Set)
-	res.Benefit = res.VolcanoCost - res.Cost
+	if res.Fault == nil {
+		res.Cost = opt.BestCost(res.Set)
+		res.Benefit = res.VolcanoCost - res.Cost
+	}
 	end := nowFunc()
 	res.OptTime = end.Sub(start)
 	res.Telemetry = Telemetry{
@@ -353,7 +422,7 @@ func RunWith(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Co
 		TotalTime:    end.Sub(start),
 	}
 	res.Telemetry.fillHitRate()
-	return res
+	return res, nil
 }
 
 func (t *Telemetry) fillHitRate() {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cardinality"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/memo"
 	"repro/internal/physical"
 )
@@ -173,6 +174,21 @@ func (e *Engine) runConsolidatedParallel(cp *physical.ConsolidatedPlan) ([]Query
 		io     Accounting
 		err    error
 	}
+	// runOne executes one plan with panic isolation: a panicking task —
+	// these run on pool goroutines, where an escaped panic would kill the
+	// whole process — is recovered into the unit's error and surfaces like
+	// any other execution failure.
+	runOne := func(plan *physical.PlanNode) (u unit) {
+		defer func() {
+			if r := recover(); r != nil {
+				u = unit{err: faultinject.NewPanicError("exec.wavefront", r)}
+			}
+		}()
+		faultinject.Hit(faultinject.ExecTask)
+		t := &task{e: e}
+		schema, rows, err := t.run(plan)
+		return unit{schema: schema, rows: rows, io: t.io, err: err}
+	}
 	runAll := func(plans []*physical.PlanNode) []unit {
 		outs := make([]unit, len(plans))
 		par := e.Parallelism
@@ -190,9 +206,7 @@ func (e *Engine) runConsolidatedParallel(cp *physical.ConsolidatedPlan) ([]Query
 					if i >= len(plans) {
 						return
 					}
-					t := &task{e: e}
-					schema, rows, err := t.run(plans[i])
-					outs[i] = unit{schema: schema, rows: rows, io: t.io, err: err}
+					outs[i] = runOne(plans[i])
 				}
 			}()
 		}

@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/faultinject"
+	"repro/internal/tpcd"
+	"repro/internal/volcano"
+)
+
+// TestFaultWavefrontPanicIsolated injects a panic into one wavefront task
+// of the parallel executor: the run must fail with a typed PanicError —
+// the panic recovered on the pool goroutine, not escaping to kill the
+// process — and a fault-free re-run on a fresh engine must match the
+// serial execution exactly.
+func TestFaultWavefrontPanicIsolated(t *testing.T) {
+	cat := tpcd.Catalog(1)
+	batch := tpcd.BQ(3)
+	opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Run(opt, core.MarginalGreedy)
+	plan := opt.Plan(res.MatSet())
+	gen := &Generator{Cat: cat, Seed: 7, Cap: 2000}
+
+	serialEng := NewEngine(gen, opt.Memo)
+	serial, err := serialEng.RunConsolidated(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restore := faultinject.Enable(faultinject.NewSchedule(1,
+		faultinject.Rule{Point: faultinject.ExecTask, N: 2, Panic: true}))
+	t.Cleanup(restore)
+	eng := NewEngine(gen, opt.Memo)
+	eng.Parallelism = 4
+	if _, err := eng.RunConsolidated(plan); err == nil {
+		t.Fatal("injected exec panic did not surface as an error")
+	} else {
+		var pe *faultinject.PanicError
+		if !errors.As(err, &pe) || pe.Site != "exec.wavefront" {
+			t.Fatalf("error = %v, want a PanicError from exec.wavefront", err)
+		}
+		var inj *faultinject.Injected
+		if !errors.As(err, &inj) || inj.Point != faultinject.ExecTask {
+			t.Fatalf("error = %v, want to unwrap to the injected fault", err)
+		}
+	}
+	restore()
+
+	// The fault left no residue: a fresh parallel run matches serial.
+	eng2 := NewEngine(gen, opt.Memo)
+	eng2.Parallelism = 4
+	got, err := eng2.RunConsolidated(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(serial) {
+		t.Fatalf("replay: %d results vs %d serial", len(got), len(serial))
+	}
+	for i := range got {
+		if got[i].Name != serial[i].Name || len(got[i].Rows) != len(serial[i].Rows) {
+			t.Fatalf("replay query %d: %s/%d rows vs %s/%d",
+				i, got[i].Name, len(got[i].Rows), serial[i].Name, len(serial[i].Rows))
+		}
+	}
+}

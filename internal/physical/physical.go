@@ -81,6 +81,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/memo"
 )
 
@@ -247,6 +248,12 @@ type Searcher struct {
 	workers []*worker
 	ordIdx  map[string]ordID // construction only
 	shared  *SharedCache     // cross-worker / cross-searcher L2 cache
+
+	// fault is the first panic a batch worker recovered, kept until the
+	// owning run collects it with TakeFault. Batches run one at a time per
+	// searcher (the oracle is sequential between rounds), so a plain field
+	// read after the batch's WaitGroup is race-free.
+	fault *faultinject.PanicError
 
 	// Stats.
 	BCCalls      int // bestCost invocations
@@ -728,6 +735,7 @@ func (s *Searcher) BestCostBatch(mats []NodeSet) []float64 {
 // results are complete, in input order, and bit-identical to sequential
 // BestCost calls.
 func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs []float64, ok bool) {
+	s.fault = nil
 	out := make([]float64, len(mats))
 	par := s.Parallelism
 	if par <= 0 {
@@ -737,30 +745,44 @@ func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs 
 		par = len(mats)
 	}
 	var aborted int32
+	var fault atomic.Pointer[faultinject.PanicError]
 	cancelled := func() bool {
-		if ctx == nil {
-			return false
-		}
 		if atomic.LoadInt32(&aborted) != 0 {
 			return true
 		}
-		if ctx.Err() != nil {
+		if ctx != nil && ctx.Err() != nil {
 			atomic.StoreInt32(&aborted, 1)
 			return true
 		}
 		return false
 	}
+	// evalOne runs one bc(S) evaluation with panic isolation: a panic —
+	// injected or genuine — is recovered into a PanicError (first one wins)
+	// and aborts the batch, so a poisoned worker can never kill the process
+	// or publish a half-computed cost. On a recovered panic ok is false and
+	// out[i] is left untouched, so the committed prefix stops before i.
+	evalOne := func(w *worker, i int) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				fault.CompareAndSwap(nil, faultinject.NewPanicError("physical.BestCostBatch", r))
+				atomic.StoreInt32(&aborted, 1)
+			}
+		}()
+		faultinject.Hit(faultinject.OracleEval)
+		out[i] = s.bestCostOn(w, mats[i].bits)
+		return true
+	}
 	if par <= 1 {
 		w := s.worker(0)
 		done := 0
-		for i, m := range mats {
-			if cancelled() {
+		for i := range mats {
+			if cancelled() || !evalOne(w, i) {
 				break
 			}
-			out[i] = s.bestCostOn(w, m.bits)
 			done = i + 1
 		}
 		w.flushStats()
+		s.fault = fault.Load()
 		if aborted != 0 {
 			return out[:done], false
 		}
@@ -785,7 +807,9 @@ func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs 
 				if i >= len(mats) {
 					return
 				}
-				out[i] = s.bestCostOn(w, mats[i].bits)
+				if !evalOne(w, i) {
+					return
+				}
 				atomic.StoreUint32(&completed[i], 1)
 			}
 		}(workers[k])
@@ -794,6 +818,7 @@ func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs 
 	for _, w := range workers {
 		w.flushStats()
 	}
+	s.fault = fault.Load()
 	if atomic.LoadInt32(&aborted) != 0 {
 		done := 0
 		for done < len(completed) && completed[done] == 1 {
@@ -802,6 +827,20 @@ func (s *Searcher) BestCostBatchCtx(ctx context.Context, mats []NodeSet) (costs 
 		return out[:done], false
 	}
 	return out, true
+}
+
+// TakeFault returns the panic recovered during the most recent batch, if
+// any, and clears it. A non-nil fault means that batch aborted with
+// ok=false and its committed prefix is still exact; the memo and caches of
+// this searcher may however be inconsistent, so callers must not reuse the
+// searcher for further evaluation (repro.Session quarantines it).
+func (s *Searcher) TakeFault() error {
+	f := s.fault
+	s.fault = nil
+	if f == nil {
+		return nil
+	}
+	return f
 }
 
 // BestUseCost is buc(S): the cost of the optimal plan that may exploit S

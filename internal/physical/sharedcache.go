@@ -241,6 +241,13 @@ func (s *Searcher) cacheNS() uint64 {
 	return ns
 }
 
+// Fingerprint identifies the compiled search space plus the cost-relevant
+// operator flags: the same 64-bit namespace SharedCache entries live
+// under. Checkpoint tokens embed it so a resume against a different
+// catalog, batch, or flag setting is rejected instead of silently
+// producing garbage.
+func (s *Searcher) Fingerprint() uint64 { return s.cacheNS() }
+
 // AttachSharedCache attaches a cross-call L2 cache: every worker keeps its
 // private (lock-free) L1 map, missing into c and promoting hits, and
 // PublishCache merges the workers' learning back. Attaching a longer-lived

@@ -8,7 +8,10 @@
 //	                   returns the materialization set, a plan summary and
 //	                   the full core.Telemetry of the run
 //	GET  /v1/stats     per-tenant admission counters, session-pool stats
-//	GET  /healthz      200 while serving, 503 while draining
+//	                   (live + retired aggregate), recovered-panic count,
+//	                   per-catalog breaker states
+//	GET  /healthz      200 while serving ("ok", or "degraded" with the
+//	                   non-closed breakers listed), 503 while draining
 //
 // # Admission-control contract
 //
@@ -39,6 +42,43 @@
 // Rejected requests never touch a session: they are not counted in
 // SessionStats and spend no oracle calls. Admitted requests are charged
 // exactly once, on completion, even when the client has gone away.
+// Faulted requests (below) are charged the oracle calls their run made
+// before the fault; in SessionStats they appear only as Faults.
+//
+// Every non-2xx body carries a stable machine-readable "code" field
+// (bad_request, body_too_large, queue_full, quota_exhausted,
+// queue_timeout, tenant_overflow, unknown_tenant, draining, breaker_open,
+// resume_mismatch, internal_panic, internal_error) — clients dispatch on
+// the code; the human-readable "error" text is not contractual.
+//
+// # Fault tolerance
+//
+// A panic inside an optimization — in the batched-oracle workers, the
+// executor's wavefront tasks, or the handler itself — never kills the
+// process. Worker goroutines recover into a typed faultinject.PanicError;
+// the handler answers 500 with code internal_panic, an incident id (also
+// logged with the stack), and any round-boundary checkpoint the run had
+// committed. The owning session is quarantined: removed from the pool at
+// once (in-flight pins defer its retirement, so concurrent runs keep
+// their shared cache) and rebuilt on the key's next request; its lifetime
+// stats fold into the retired aggregate /v1/stats reports, so telemetry
+// conservation — pooled + retired stats = sum over responses — survives
+// the churn.
+//
+// Budget- or cancellation-stopped runs return a resumable checkpoint in
+// the response; POST it back as "resume" to continue bit-identically on
+// any server instance whose batch, sf and extended_ops reproduce the
+// original search space (fingerprint-verified; mismatch is a 409 with
+// code resume_mismatch).
+//
+// Each catalog (pool key) carries a circuit breaker. Repeated recovered
+// panics or time-budget deadline stops move it closed → degraded —
+// requests still answer 200 but under clamped budgets and the cheap
+// LazyGreedy fallback, flagged "degraded":true — and, if failures
+// continue, degraded → open: 503 + Retry-After with code breaker_open
+// until a cooldown admits one degraded probe, whose outcome decides
+// between reopening and recovery. /healthz reports any non-closed breaker
+// under status "degraded" (still 200 — the instance serves).
 //
 // Tenant names are attacker-controlled input: they must be short
 // printable ASCII (400 otherwise), and a non-strict controller allocates

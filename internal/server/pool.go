@@ -8,6 +8,7 @@ import (
 
 	"repro"
 	"repro/internal/cost"
+	"repro/internal/faultinject"
 	"repro/internal/tpcd"
 )
 
@@ -26,23 +27,38 @@ func (k poolKey) String() string {
 	return fmt.Sprintf("sf=%g", k.sf)
 }
 
-// poolEntry is one pooled session with its recency stamp.
+// poolEntry is one pooled session with its recency stamp and pin count.
 type poolEntry struct {
+	key     poolKey
 	sess    *repro.Session
 	lastUse time.Time
+	// refs counts in-flight requests pinning the session. An entry evicted
+	// or quarantined while pinned is doomed instead of retired on the spot:
+	// it leaves the map immediately (new requests build a fresh session)
+	// but its cache invalidation and stats fold wait for the last release,
+	// so an in-flight Optimize never has its shared cache flushed from
+	// under it.
+	refs   int
+	doomed bool
 }
 
 // sessionPool lazily creates and caches repro.Sessions keyed by catalog.
 // At most max sessions are kept: creating one past the bound evicts the
-// least-recently-used entry and invalidates its shared cost cache, so the
-// evicted cache memory is released promptly. Get never evicts a session
-// out from under an in-flight request — sessions are self-contained, the
-// pool only drops its reference.
+// least-recently-used entry. Sessions handed out by acquire are
+// refcount-pinned until their release is called; eviction and quarantine
+// of a pinned session defer its retirement (cache invalidation + stats
+// fold into the retired aggregate) to the last release.
 type sessionPool struct {
 	mu      sync.Mutex
 	max     int
 	entries map[poolKey]*poolEntry
-	now     func() time.Time // test hook
+	// retired aggregates the lifetime Session.Stats of every session the
+	// pool has dropped (evicted or quarantined), so the telemetry
+	// conservation audit — pooled stats + retired stats = sum over
+	// responses — keeps balancing across session churn.
+	retired      repro.SessionStats
+	retiredCount int
+	now          func() time.Time // test hook
 }
 
 func newSessionPool(max int) *sessionPool {
@@ -56,55 +72,135 @@ func newSessionPool(max int) *sessionPool {
 	}
 }
 
-// get returns the session for the key, creating it on first use. The
-// catalog and session are built outside the pool mutex so one request's
-// cold-catalog construction never stalls requests on warm keys (two
-// concurrent cold requests may both build; the loser's session is
-// discarded before anything used it).
-func (p *sessionPool) get(key poolKey) (*repro.Session, error) {
+// acquire returns the session for the key pinned against retirement,
+// creating it on first use, plus the release the caller MUST invoke
+// exactly once when done with the session. The catalog and session are
+// built outside the pool mutex so one request's cold-catalog construction
+// never stalls requests on warm keys (two concurrent cold requests may
+// both build; the loser's session is discarded before anything used it).
+func (p *sessionPool) acquire(key poolKey) (*repro.Session, func(), error) {
+	faultinject.Hit(faultinject.PoolGet)
 	p.mu.Lock()
 	if e, ok := p.entries[key]; ok {
 		e.lastUse = p.now()
+		e.refs++
 		p.mu.Unlock()
-		return e.sess, nil
+		return e.sess, func() { p.release(e) }, nil
 	}
 	p.mu.Unlock()
 
 	sess, err := repro.NewSession(tpcd.Catalog(key.sf), cost.Default(),
 		repro.WithExtendedOps(key.extended))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if e, ok := p.entries[key]; ok { // a concurrent builder won the race
 		e.lastUse = p.now()
-		return e.sess, nil
+		e.refs++
+		return e.sess, func() { p.release(e) }, nil
 	}
 	if len(p.entries) >= p.max {
 		p.evictLRULocked()
 	}
-	p.entries[key] = &poolEntry{sess: sess, lastUse: p.now()}
-	return sess, nil
+	e := &poolEntry{key: key, sess: sess, lastUse: p.now(), refs: 1}
+	p.entries[key] = e
+	return e.sess, func() { p.release(e) }, nil
 }
 
-// evictLRULocked drops the least-recently-used entry and invalidates its
-// cache (the pool's side of the session cache-invalidation hook).
+// release unpins one acquire; the last release of a doomed entry performs
+// the deferred retirement.
+func (p *sessionPool) release(e *poolEntry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e.refs--
+	if e.doomed && e.refs == 0 {
+		p.retireLocked(e)
+	}
+}
+
+// retireLocked folds the dead session's lifetime counters into the
+// retired aggregate and invalidates its shared cost cache so the memory
+// is released promptly. Only called once per entry: from the dooming site
+// when unpinned, else from the last release.
+func (p *sessionPool) retireLocked(e *poolEntry) {
+	addSessionStats(&p.retired, e.sess.Stats())
+	p.retiredCount++
+	e.sess.InvalidateCache()
+}
+
+// evictLRULocked drops the least-recently-used entry, preferring unpinned
+// victims; when every entry is pinned the LRU one is doomed and retired
+// at its last release.
 func (p *sessionPool) evictLRULocked() {
-	var (
-		oldestKey poolKey
-		oldest    *poolEntry
-	)
-	for k, e := range p.entries {
-		if oldest == nil || e.lastUse.Before(oldest.lastUse) {
-			oldestKey, oldest = k, e
+	faultinject.Hit(faultinject.PoolEvict)
+	var victim *poolEntry
+	for _, e := range p.entries {
+		if e.refs == 0 && (victim == nil || e.lastUse.Before(victim.lastUse)) {
+			victim = e
 		}
 	}
-	if oldest != nil {
-		delete(p.entries, oldestKey)
-		oldest.sess.InvalidateCache()
+	if victim == nil {
+		for _, e := range p.entries {
+			if victim == nil || e.lastUse.Before(victim.lastUse) {
+				victim = e
+			}
+		}
 	}
+	if victim == nil {
+		return
+	}
+	delete(p.entries, victim.key)
+	if victim.refs > 0 {
+		victim.doomed = true
+		return
+	}
+	p.retireLocked(victim)
+}
+
+// quarantine removes the key's entry iff it still holds sess (a later
+// rebuild must not be punished for its predecessor's fault) — used when a
+// request's session recovered a panic and its internal caches are no
+// longer trusted. Pinned sessions are doomed; the next request on the key
+// builds a fresh session.
+func (p *sessionPool) quarantine(key poolKey, sess *repro.Session) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[key]
+	if !ok || e.sess != sess || e.doomed {
+		return
+	}
+	delete(p.entries, key)
+	if e.refs > 0 {
+		e.doomed = true
+		return
+	}
+	p.retireLocked(e)
+}
+
+// addSessionStats accumulates src into dst field by field.
+func addSessionStats(dst *repro.SessionStats, src repro.SessionStats) {
+	dst.Batches += src.Batches
+	dst.Interrupted += src.Interrupted
+	dst.OracleCalls += src.OracleCalls
+	dst.BCCalls += src.BCCalls
+	dst.CacheHits += src.CacheHits
+	dst.SharedHits += src.SharedHits
+	dst.Rounds += src.Rounds
+	dst.Invalidations += src.Invalidations
+	dst.Faults += src.Faults
+	dst.BuildTime += src.BuildTime
+	dst.OptTime += src.OptTime
+	dst.ExtractTime += src.ExtractTime
+}
+
+// retiredStats snapshots the retirement aggregate.
+func (p *sessionPool) retiredStats() (repro.SessionStats, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retired, p.retiredCount
 }
 
 // PoolEntryStats is one pooled session's view in /v1/stats.
@@ -114,6 +210,7 @@ type PoolEntryStats struct {
 	Session     repro.SessionStats `json:"session"`
 	ExtendedOps bool               `json:"extended_ops"`
 	SF          float64            `json:"sf"`
+	Pinned      int                `json:"pinned"`
 }
 
 // stats snapshots every pooled session.
@@ -129,6 +226,7 @@ func (p *sessionPool) stats() []PoolEntryStats {
 			Session:     e.sess.Stats(),
 			ExtendedOps: k.extended,
 			SF:          k.sf,
+			Pinned:      e.refs,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Catalog < out[j].Catalog })

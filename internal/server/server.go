@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/logical"
 	"repro/internal/parser"
 	"repro/internal/workload"
@@ -45,6 +46,9 @@ type Config struct {
 	// pooled session (and its warm cost cache) just by cycling fresh
 	// values. Default {1, 10, 100}; DefaultSF is always included.
 	AllowedSFs []float64
+	// Breaker parameterizes the per-catalog circuit breaker (degraded and
+	// open serving after repeated faults).
+	Breaker BreakerConfig
 	// Logger receives request-level diagnostics; nil discards them.
 	Logger *log.Logger
 }
@@ -71,6 +75,7 @@ func (c Config) normalize() Config {
 	if !slices.Contains(c.AllowedSFs, c.DefaultSF) {
 		c.AllowedSFs = append(c.AllowedSFs, c.DefaultSF)
 	}
+	c.Breaker = c.Breaker.normalize()
 	return c
 }
 
@@ -79,8 +84,16 @@ type Server struct {
 	cfg      Config
 	adm      *Admission
 	pool     *sessionPool
+	breaker  *breaker
 	started  time.Time
 	draining atomic.Bool
+	// panics counts panics recovered anywhere on the serving path
+	// (optimizer workers surfacing as FaultError, and handler panics
+	// caught by the recoverPanics middleware).
+	panics atomic.Int64
+	// incidents numbers recovered panics so a 500's incident id can be
+	// correlated with the server log.
+	incidents atomic.Int64
 
 	// preOptimize, when non-nil, runs after admission and before the
 	// optimizer is invoked. Tests use it to hold admitted requests at a
@@ -96,12 +109,17 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		adm:     NewAdmission(cfg.DefaultTenant, cfg.Tenants, cfg.StrictTenants),
 		pool:    newSessionPool(cfg.PoolSize),
+		breaker: newBreaker(cfg.Breaker),
 		started: time.Now(),
 	}
 }
 
 // Admission exposes the admission controller (quota resets, stats).
 func (s *Server) Admission() *Admission { return s.adm }
+
+// PanicsRecovered reports how many panics the serving path has recovered
+// since startup.
+func (s *Server) PanicsRecovered() int64 { return s.panics.Load() }
 
 // Drain flips the server into draining mode: /healthz turns 503 and new
 // optimize requests are rejected with 503 + Retry-After, while already
@@ -112,13 +130,67 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Handler returns the server's routing table.
+// Handler returns the server's routing table, wrapped in the
+// panic-isolation middleware: no request, however it fails, takes the
+// process down.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// trackingWriter remembers whether the handler already wrote, so the
+// panic middleware only writes its 500 on a still-virgin response.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *trackingWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *trackingWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// incident mints a log-correlatable id for one recovered panic.
+func (s *Server) incident() string {
+	return fmt.Sprintf("inc-%x-%d", s.started.UnixNano()&0xffffff, s.incidents.Add(1))
+}
+
+// recoverPanics is the last line of the panic-isolation contract: a panic
+// escaping any handler is logged with an incident id and turned into a
+// 500 (when nothing was written yet) instead of killing the connection's
+// serving goroutine with a blank reply.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { // deliberate connection abort
+				panic(rec)
+			}
+			id := s.incident()
+			s.panics.Add(1)
+			s.logf("server: %s %s: panic recovered (incident %s): %v", r.Method, r.URL.Path, id, rec)
+			if !tw.wrote {
+				writeJSON(tw, http.StatusInternalServerError, errorBody{
+					Error:    "internal error (incident " + id + ")",
+					Code:     codeInternalPanic,
+					Incident: id,
+				})
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -137,9 +209,10 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 // writeError writes the error body, with a Retry-After header (whole
-// seconds, rounded up, ≥ 1) when retryAfter > 0.
-func writeError(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
-	body := errorBody{Error: msg}
+// seconds, rounded up, ≥ 1) when retryAfter > 0. code is the stable
+// machine-readable reason clients dispatch on.
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	body := errorBody{Error: msg, Code: code}
 	if retryAfter > 0 {
 		secs := int64((retryAfter + time.Second - 1) / time.Second)
 		if secs < 1 {
@@ -198,17 +271,34 @@ func (s *Server) buildBatch(req *OptimizeRequest) (*logical.Batch, error) {
 }
 
 // optimizeOptions maps the request and its tenant's caps onto Session
-// options: the effective budget is the tighter of the request's ask and
-// the tenant's cap.
-func optimizeOptions(req *OptimizeRequest, cfg TenantConfig) []repro.Option {
+// options: the effective budget is the tighter of the request's ask, the
+// tenant's cap, and — when the catalog's breaker serves degraded — the
+// degraded clamp. Degraded serving also forces the cheap LazyGreedy
+// fallback strategy (resume requests keep their checkpoint's algorithm).
+// It returns the options plus the strategy name the response reports.
+func optimizeOptions(req *OptimizeRequest, cfg TenantConfig, deg *BreakerConfig) ([]repro.Option, string) {
 	strat, _ := parseStrategy(req.Strategy) // validated at decode time
+	if deg != nil {
+		strat = core.LazyGreedyStrategy
+	}
+	name := strat.String()
 	opts := []repro.Option{
 		repro.WithStrategy(strat),
 		repro.WithParallelism(req.Parallelism),
 	}
+	if req.Resume != nil {
+		opts = append(opts, repro.WithResume(req.Resume))
+		name = req.Resume.State.Algorithm // non-nil State: decode-validated
+	}
 	timeMS := req.TimeBudgetMS
-	if cfg.TimeBudgetMS > 0 && (timeMS == 0 || timeMS > cfg.TimeBudgetMS) {
-		timeMS = cfg.TimeBudgetMS
+	clampTime := func(capMS int64) {
+		if capMS > 0 && (timeMS == 0 || timeMS > capMS) {
+			timeMS = capMS
+		}
+	}
+	clampTime(cfg.TimeBudgetMS)
+	if deg != nil {
+		clampTime(deg.DegradedTimeBudgetMS)
 	}
 	if timeMS > 0 {
 		opts = append(opts, repro.WithTimeBudget(time.Duration(timeMS)*time.Millisecond))
@@ -217,38 +307,44 @@ func optimizeOptions(req *OptimizeRequest, cfg TenantConfig) []repro.Option {
 	if req.OracleCallBudget != nil {
 		callBudget = *req.OracleCallBudget
 	}
-	if cfg.CallBudget > 0 && (callBudget < 0 || callBudget > cfg.CallBudget) {
-		callBudget = cfg.CallBudget
+	clampCalls := func(cap int) {
+		if cap > 0 && (callBudget < 0 || callBudget > cap) {
+			callBudget = cap
+		}
+	}
+	clampCalls(cfg.CallBudget)
+	if deg != nil {
+		clampCalls(deg.DegradedCallBudget)
 	}
 	if callBudget >= 0 {
 		opts = append(opts, repro.WithOracleCallBudget(callBudget))
 	}
-	return opts
+	return opts, name
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining", 5*time.Second)
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is draining", 5*time.Second)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body too large", 0)
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge, "request body too large", 0)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error(), 0)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "reading request body: "+err.Error(), 0)
 		return
 	}
 	req, err := decodeOptimizeRequest(body, s.cfg.MaxQueries)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
 		return
 	}
 	tenantName := tenantOf(r, req)
 	if !validTenantName(tenantName) {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeBadRequest,
 			fmt.Sprintf("tenant name must be 1..%d printable non-space ASCII characters", maxTenantNameLen), 0)
 		return
 	}
@@ -272,7 +368,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	batch, err := s.buildBatch(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
 		return
 	}
 	sf := req.SF
@@ -280,30 +376,84 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		sf = s.cfg.DefaultSF
 	}
 	if !slices.Contains(s.cfg.AllowedSFs, sf) {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, codeBadRequest,
 			fmt.Sprintf("sf %v is not served; allowed scale factors: %v", sf, s.cfg.AllowedSFs), 0)
 		return
 	}
-	sess, err := s.pool.get(poolKey{sf: sf, extended: req.ExtendedOps})
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+	key := poolKey{sf: sf, extended: req.ExtendedOps}
+
+	degraded, retry, admitted := s.breaker.admit(key)
+	if !admitted {
+		writeError(w, http.StatusServiceUnavailable, codeBreakerOpen,
+			"catalog "+key.String()+" is temporarily unavailable after repeated faults", retry)
 		return
 	}
-	cfg := s.adm.Config(tenantName)
-	res, err := sess.Optimize(ctx, batch, optimizeOptions(req, cfg)...)
+
+	sess, poolRelease, err := s.pool.acquire(key)
 	if err != nil {
-		// NewOptimizer rejects batches that are invalid against the
-		// catalog (unknown tables/columns, malformed predicates): the
-		// request's fault, not the server's.
-		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		writeError(w, http.StatusInternalServerError, codeInternalError, err.Error(), 0)
+		return
+	}
+	defer poolRelease()
+	// A panic past this point may have corrupted the shared session: pull
+	// it from the pool before letting the middleware answer the request.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.pool.quarantine(key, sess)
+			s.breaker.recordFailure(key)
+			panic(rec)
+		}
+	}()
+
+	var degCfg *BreakerConfig
+	if degraded {
+		degCfg = &s.cfg.Breaker
+	}
+	cfg := s.adm.Config(tenantName)
+	opts, stratName := optimizeOptions(req, cfg, degCfg)
+	res, err := sess.Optimize(ctx, batch, opts...)
+	if err != nil {
+		var fe *repro.FaultError
+		switch {
+		case errors.As(err, &fe):
+			// A worker panic was recovered inside the optimizer: answer
+			// with an incident id (plus any resumable state the run had
+			// committed), quarantine the session, and charge the tenant
+			// for the work the faulted run did burn.
+			id := s.incident()
+			s.panics.Add(1)
+			s.pool.quarantine(key, sess)
+			s.breaker.recordFailure(key)
+			s.logf("server: %s: optimization faulted (incident %s): %v", tenantName, id, fe.Panic)
+			spent = fe.Telemetry.OracleCalls
+			writeJSON(w, http.StatusInternalServerError, errorBody{
+				Error:      "optimization faulted (incident " + id + ")",
+				Code:       codeInternalPanic,
+				Incident:   id,
+				Checkpoint: fe.Checkpoint,
+			})
+		case errors.Is(err, repro.ErrResumeMismatch):
+			writeError(w, http.StatusConflict, codeResumeMismatch, err.Error(), 0)
+		default:
+			// NewOptimizer rejects batches that are invalid against the
+			// catalog (unknown tables/columns, malformed predicates): the
+			// request's fault, not the server's.
+			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
+		}
 		return
 	}
 	spent = res.Telemetry.OracleCalls
+	// A deadline stop is a breaker failure — a catalog that cannot finish
+	// inside its budgets degrades before it monopolizes the pool.
+	if res.Telemetry.Stopped == repro.StopTimeBudget {
+		s.breaker.recordFailure(key)
+	} else {
+		s.breaker.recordSuccess(key)
+	}
 
-	strat, _ := parseStrategy(req.Strategy)
 	resp := &OptimizeResponse{
 		Tenant:       tenantName,
-		Strategy:     strat.String(),
+		Strategy:     stratName,
 		Queries:      len(batch.Queries),
 		Materialized: make([]int, 0, len(res.Materialized)),
 		CostMS:       res.Cost,
@@ -315,6 +465,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		OptNS:        res.OptTime.Nanoseconds(),
 		ExtractNS:    res.ExtractTime.Nanoseconds(),
 		QueueWaitNS:  queueWait.Nanoseconds(),
+		Checkpoint:   res.Checkpoint,
+		Degraded:     degraded,
 	}
 	for _, g := range res.Materialized {
 		resp.Materialized = append(resp.Materialized, int(g))
@@ -330,21 +482,21 @@ func (s *Server) rejected(w http.ResponseWriter, tenant string, err error) {
 	retry := s.adm.RetryAfter(tenant, err)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err.Error(), retry)
+		writeError(w, http.StatusTooManyRequests, codeQueueFull, err.Error(), retry)
 	case errors.Is(err, ErrQuotaExhausted):
-		writeError(w, http.StatusTooManyRequests, err.Error(), retry)
+		writeError(w, http.StatusTooManyRequests, codeQuotaExhausted, err.Error(), retry)
 	case errors.Is(err, ErrTenantOverflow):
-		writeError(w, http.StatusTooManyRequests, err.Error(), retry)
+		writeError(w, http.StatusTooManyRequests, codeTenantOverflow, err.Error(), retry)
 	case errors.Is(err, ErrQueueTimeout):
-		writeError(w, http.StatusServiceUnavailable, err.Error(), retry)
+		writeError(w, http.StatusServiceUnavailable, codeQueueTimeout, err.Error(), retry)
 	case errors.Is(err, ErrUnknownTenant):
-		writeError(w, http.StatusForbidden, err.Error(), 0)
+		writeError(w, http.StatusForbidden, codeUnknownTenant, err.Error(), 0)
 	case errors.Is(err, ErrCancelled):
 		// The client is gone; the status is never seen. 499 is the
 		// conventional nginx code for this.
 		w.WriteHeader(499)
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		writeError(w, http.StatusInternalServerError, codeInternalError, err.Error(), 0)
 	}
 	s.logf("server: %s: rejected: %v", tenant, err)
 }
@@ -355,23 +507,50 @@ type StatsResponse struct {
 	Draining bool                   `json:"draining"`
 	Tenants  map[string]TenantStats `json:"tenants"`
 	Pool     []PoolEntryStats       `json:"pool"`
+	// PanicsRecovered counts panics the serving path absorbed (optimizer
+	// faults and handler panics) since startup.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// Retired aggregates the lifetime stats of sessions the pool dropped
+	// (evicted or quarantined): Pool + Retired is the full serving
+	// history, so telemetry conservation survives session churn.
+	Retired      repro.SessionStats `json:"retired_sessions"`
+	RetiredCount int                `json:"retired_session_count"`
+	// Breakers reports catalogs with non-trivial breaker state.
+	Breakers map[string]BreakerStats `json:"breakers,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	retired, retiredCount := s.pool.retiredStats()
 	writeJSON(w, http.StatusOK, &StatsResponse{
-		UptimeNS: time.Since(s.started).Nanoseconds(),
-		Draining: s.draining.Load(),
-		Tenants:  s.adm.Stats(),
-		Pool:     s.pool.stats(),
+		UptimeNS:        time.Since(s.started).Nanoseconds(),
+		Draining:        s.draining.Load(),
+		Tenants:         s.adm.Stats(),
+		Pool:            s.pool.stats(),
+		PanicsRecovered: s.panics.Load(),
+		Retired:         retired,
+		RetiredCount:    retiredCount,
+		Breakers:        s.breaker.snapshot(),
 	})
+}
+
+// healthzResponse is the body of GET /healthz.
+type healthzResponse struct {
+	Status   string                  `json:"status"`
+	Breakers map[string]BreakerStats `json:"breakers,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ok"
+	breakers := s.breaker.snapshot()
+	for _, b := range breakers {
+		if b.State != "closed" {
+			state = "degraded"
+		}
+	}
 	if s.draining.Load() {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]string{"status": state})
+	writeJSON(w, status, healthzResponse{Status: state, Breakers: breakers})
 }

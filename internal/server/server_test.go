@@ -224,14 +224,21 @@ func TestServerBadRequests(t *testing.T) {
 			if err := json.Unmarshal(data, &eb); err != nil || eb.Error == "" {
 				t.Fatalf("error body not JSON with an error field: %s", data)
 			}
+			if eb.Code != codeBadRequest {
+				t.Fatalf("error code = %q, want %q", eb.Code, codeBadRequest)
+			}
 		})
 	}
 
-	// Oversized body: 413.
+	// Oversized body: 413 with its own stable code.
 	big := fmt.Sprintf(`{"sql": %q}`, strings.Repeat("x", 2<<20))
-	resp, _ := postOptimize(t, ts.URL, big, nil)
+	resp, data := postOptimize(t, ts.URL, big, nil)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != codeBodyTooLarge {
+		t.Fatalf("413 body = %s, want code %s", data, codeBodyTooLarge)
 	}
 }
 
@@ -286,8 +293,8 @@ func TestServerQueueFull429(t *testing.T) {
 		t.Error("429 without Retry-After")
 	}
 	var eb errorBody
-	if err := json.Unmarshal(data, &eb); err != nil || eb.RetryAfterMS <= 0 {
-		t.Errorf("429 body = %s", data)
+	if err := json.Unmarshal(data, &eb); err != nil || eb.RetryAfterMS <= 0 || eb.Code != codeQueueFull {
+		t.Errorf("429 body = %s, want code %s with retry_after_ms", data, codeQueueFull)
 	}
 
 	close(gate) // release the blocker; both held requests finish
@@ -326,6 +333,10 @@ func TestServerQueueWaitDeadline503(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("503 without Retry-After")
 	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != codeQueueTimeout {
+		t.Errorf("503 body = %s, want code %s", data, codeQueueTimeout)
+	}
 	close(gate)
 	if st := <-done; st != http.StatusOK {
 		t.Fatalf("blocking request status = %d", st)
@@ -355,6 +366,10 @@ func TestServerQuotaExhaustion429(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "quota") {
 		t.Errorf("rejection does not mention the quota: %s", data)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != codeQuotaExhausted {
+		t.Errorf("429 body = %s, want code %s", data, codeQuotaExhausted)
 	}
 	st := srv.Admission().Stats()["meter"]
 	if st.RejectedQuota != 1 || st.QuotaSpent < 1 {
@@ -557,6 +572,10 @@ func TestServerStrictTenants403(t *testing.T) {
 	resp, data := postOptimize(t, ts.URL, tinySQL, map[string]string{"X-Tenant": "stranger"})
 	if resp.StatusCode != http.StatusForbidden {
 		t.Fatalf("stranger status = %d: %s", resp.StatusCode, data)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != codeUnknownTenant {
+		t.Errorf("403 body = %s, want code %s", data, codeUnknownTenant)
 	}
 	resp, data = postOptimize(t, ts.URL, tinySQL, map[string]string{"X-Tenant": "known"})
 	if resp.StatusCode != http.StatusOK {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/physical"
 	"repro/internal/strictjson"
@@ -54,6 +55,13 @@ type OptimizeRequest struct {
 	SQL string `json:"sql,omitempty"`
 	// PlanText asks for the rendered consolidated plan in the response.
 	PlanText bool `json:"plan_text,omitempty"`
+	// Resume continues an interrupted optimization from the checkpoint an
+	// earlier response (or fault body) carried. The batch, sf and
+	// extended_ops must reproduce the original search space — the token's
+	// fingerprint is verified — and the algorithm comes from the
+	// checkpoint, so Strategy is ignored. Budgets apply to the
+	// continuation, which can itself checkpoint again.
+	Resume *repro.Checkpoint `json:"resume,omitempty"`
 }
 
 // decodeOptimizeRequest parses and validates one request body. It is
@@ -92,6 +100,9 @@ func (r *OptimizeRequest) validate(maxQueries int) error {
 	}
 	if r.OracleCallBudget != nil && *r.OracleCallBudget < 0 {
 		return fmt.Errorf("oracle_call_budget must be ≥ 0, got %d", *r.OracleCallBudget)
+	}
+	if r.Resume != nil && r.Resume.State == nil {
+		return errors.New("resume checkpoint carries no state")
 	}
 	if r.Spec != nil {
 		if err := r.Spec.Validate(); err != nil {
@@ -145,6 +156,12 @@ type OptimizeResponse struct {
 	OptNS        int64          `json:"opt_ns"`
 	ExtractNS    int64          `json:"extract_ns"`
 	QueueWaitNS  int64          `json:"queue_wait_ns"`
+	// Checkpoint is present when a budget or cancellation stopped the run
+	// at a resumable point; POST it back as "resume" to continue.
+	Checkpoint *repro.Checkpoint `json:"checkpoint,omitempty"`
+	// Degraded marks a run served under the catalog's circuit breaker:
+	// clamped budgets and the LazyGreedy fallback strategy.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PlanSummary condenses the consolidated plan: one row per
@@ -212,8 +229,34 @@ func countOps(p *physical.PlanNode) int {
 	return n
 }
 
+// Stable machine-readable reasons carried by errorBody.Code. Clients
+// dispatch on these; the human-readable Error text is not contractual.
+const (
+	codeBadRequest     = "bad_request"
+	codeBodyTooLarge   = "body_too_large"
+	codeQueueFull      = "queue_full"
+	codeQuotaExhausted = "quota_exhausted"
+	codeTenantOverflow = "tenant_overflow"
+	codeQueueTimeout   = "queue_timeout"
+	codeUnknownTenant  = "unknown_tenant"
+	codeDraining       = "draining"
+	codeBreakerOpen    = "breaker_open"
+	codeResumeMismatch = "resume_mismatch"
+	codeInternalPanic  = "internal_panic"
+	codeInternalError  = "internal_error"
+)
+
 // errorBody is the JSON body of every non-2xx response.
 type errorBody struct {
-	Error        string `json:"error"`
+	Error string `json:"error"`
+	// Code is the stable machine-readable reason (one of the code*
+	// constants above).
+	Code         string `json:"code"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	// Incident correlates a recovered panic with the server log.
+	Incident string `json:"incident,omitempty"`
+	// Checkpoint carries the resumable state a faulted run had committed
+	// before its panic; POST it back as "resume" to continue on a fresh
+	// session.
+	Checkpoint *repro.Checkpoint `json:"checkpoint,omitempty"`
 }

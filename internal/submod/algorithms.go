@@ -34,6 +34,11 @@ type Result struct {
 	// rounds, so Set is the deterministic best-so-far selection of the
 	// completed rounds.
 	Stopped StopReason
+	// Checkpoint, set when a lazy driver stopped early, is the resumable
+	// round-boundary snapshot: ResumeLazy continues the run from it
+	// bit-identically (see checkpoint.go). Nil on complete runs and for the
+	// eager reference drivers.
+	Checkpoint *Checkpoint
 }
 
 // finish fills the common tail of a Result: the chosen set and its value.
@@ -107,7 +112,7 @@ func marginalGreedyLazy(name string, d *Decomposition, chunk int) Result {
 	cands, free := d.positiveCostSplit()
 	x := lazyMaximize(name, d.o, d, cands, chunk, &res)
 	if res.Stopped == StopNone {
-		x, res.Stopped = addFree(d, x, free)
+		x = addFree(name, d, x, free, &res)
 	}
 	res.finish(d.o, x)
 	return res
@@ -170,7 +175,7 @@ func EagerMarginalGreedy(d *Decomposition) Result {
 		d.o.progress("EagerMarginalGreedy", res.Iterations, x.Len(), len(y), bestV)
 	}
 	if res.Stopped == StopNone {
-		x, res.Stopped = addFree(d, x, free)
+		x = addFree("EagerMarginalGreedy", d, x, free, &res)
 	}
 	res.finish(d.o, x)
 	return res
@@ -183,13 +188,18 @@ func EagerMarginalGreedy(d *Decomposition) Result {
 // assumption slightly, elements are added greedily by marginal gain and
 // skipped once their marginal gain turns negative; both choices are no-ops
 // whenever the assumption holds. Budget checks run between passes, like
-// the main rounds.
-func addFree(d *Decomposition, x Set, free []int) (Set, StopReason) {
+// the main rounds; a stop records its reason on res and — for the lazy
+// drivers — a MainDone checkpoint (the remaining free elements are
+// recomputed on resume from the costs minus the selection, so the snapshot
+// needs no extra state).
+func addFree(name string, d *Decomposition, x Set, free []int, res *Result) Set {
 	remaining := append([]int(nil), free...)
 	var sets []Set
 	for len(remaining) > 0 {
 		if d.o.Interrupted() {
-			return x, d.o.StopReason()
+			res.Stopped = d.o.StopReason()
+			res.Checkpoint = captureFree(name, x, d, res)
+			return x
 		}
 		// f(X) is computed once per pass (not once per element) and the
 		// candidate gains are evaluated in one batched oracle call.
@@ -200,7 +210,9 @@ func addFree(d *Decomposition, x Set, free []int) (Set, StopReason) {
 		}
 		vals, ok := d.o.EvalBatch(sets)
 		if !ok {
-			return x, d.o.StopReason()
+			res.Stopped = d.o.StopReason()
+			res.Checkpoint = captureFree(name, x, d, res)
+			return x
 		}
 		bestE, bestGain := -1, math.Inf(-1)
 		for i, e := range remaining {
@@ -214,7 +226,7 @@ func addFree(d *Decomposition, x Set, free []int) (Set, StopReason) {
 		x = x.With(bestE)
 		remaining = remove(remaining, bestE)
 	}
-	return x, StopNone
+	return x
 }
 
 // Greedy is the benefit-greedy of Roy et al. [Algorithm 1]: at each step

@@ -20,6 +20,9 @@ const (
 	StopTimeBudget
 	// StopCallBudget: the oracle-call budget was exhausted.
 	StopCallBudget
+	// StopPanic: the oracle recovered a panic mid-batch; the run stopped on
+	// the committed prefix and the fault is available via Oracle.Fault.
+	StopPanic
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +36,8 @@ func (r StopReason) String() string {
 		return "time-budget"
 	case StopCallBudget:
 		return "call-budget"
+	case StopPanic:
+		return "panic"
 	default:
 		return "unknown"
 	}
@@ -49,6 +54,8 @@ func ParseStopReason(s string) (StopReason, error) {
 		return StopTimeBudget, nil
 	case "call-budget":
 		return StopCallBudget, nil
+	case "panic":
+		return StopPanic, nil
 	}
 	return 0, fmt.Errorf("submod: unknown stop reason %q", s)
 }
@@ -104,6 +111,7 @@ type Control struct {
 	OnProgress func(Progress)
 
 	reason StopReason // sticky once a stop condition has been observed
+	fault  error      // the recovered panic behind a StopPanic reason
 }
 
 // Reason returns the recorded stop reason (StopNone while running).
@@ -113,6 +121,28 @@ func (c *Control) Reason() StopReason {
 	}
 	return c.reason
 }
+
+// Fault returns the recovered panic that stopped the run (nil unless the
+// reason is StopPanic).
+func (c *Control) Fault() error {
+	if c == nil {
+		return nil
+	}
+	return c.fault
+}
+
+// Faulter is the optional interface a BatchFunction implements to surface
+// a panic it recovered during an aborted batch: Fault returns — and clears
+// — the error behind the most recent ok=false result.
+// physical.Searcher-backed oracles implement it via TakeFault.
+type Faulter interface {
+	Fault() error
+}
+
+// Fault returns the recovered panic that stopped this oracle's run, if
+// any. It is sticky on the control, not the underlying function, so it
+// survives after the function's own fault slot is drained.
+func (o *Oracle) Fault() error { return o.ctrl.Fault() }
 
 // SetControl attaches a control to the oracle; nil detaches it.
 func (o *Oracle) SetControl(c *Control) { o.ctrl = c }
@@ -174,11 +204,21 @@ func (o *Oracle) ctxCancelled() bool {
 	return true
 }
 
-// markCancelled records a mid-batch abort reported by a BatchFunction,
-// classifying it by the context's error when one is attached.
+// markCancelled records a mid-batch abort reported by a BatchFunction: a
+// recovered panic (surfaced through the optional Faulter interface) wins
+// over budget classification, otherwise the context's error decides.
 func (o *Oracle) markCancelled() {
 	if o.ctrl == nil {
 		return
+	}
+	if f, ok := o.F.(Faulter); ok {
+		if err := f.Fault(); err != nil {
+			if o.ctrl.reason == StopNone || o.ctrl.reason == StopCancelled {
+				o.ctrl.reason = StopPanic
+				o.ctrl.fault = err
+			}
+			return
+		}
 	}
 	if !o.ctxCancelled() && o.ctrl.reason == StopNone {
 		o.ctrl.reason = StopCancelled

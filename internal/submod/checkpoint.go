@@ -1,0 +1,243 @@
+package submod
+
+import (
+	"fmt"
+	"math"
+)
+
+// Checkpoint is a resumable round-boundary snapshot of a batched-lazy
+// greedy run: everything the driver needs to continue exactly where a
+// budget, cancellation, or recovered panic stopped it. It is pure data —
+// no oracle or memo state — so a checkpoint taken on one session (even a
+// quarantined one: the committed greedy prefix is exact regardless of what
+// the panic poisoned) can be resumed on a fresh session over the same
+// search space.
+//
+// Determinism contract: ResumeLazy over a checkpoint, against any oracle
+// that prices sets identically, selects exactly the set an uninterrupted
+// run would have selected, because the heap's (bound desc, element asc)
+// order is total — the snapshot's contents, not its arrangement, determine
+// every subsequent pop — and because chunked re-evaluation never affects
+// which element wins a round.
+//
+// Float64 bounds and costs are stored as IEEE-754 bit patterns: the
+// initial bounds are +Inf, which encoding/json cannot represent, and bit
+// patterns survive JSON round-trips exactly where decimal rendering of
+// extreme values might not.
+type Checkpoint struct {
+	// Algorithm names the lazy driver that produced the snapshot
+	// ("MarginalGreedy", "LazyMarginalGreedy", "Greedy", "LazyGreedy");
+	// resuming re-derives the chunk size and threshold from it.
+	Algorithm string `json:"algorithm"`
+	// Selected is the committed greedy prefix, ascending.
+	Selected []int `json:"selected,omitempty"`
+	// Heap is the surviving candidate queue in canonical (bound desc,
+	// element asc) order, including any candidates that were popped for the
+	// oracle round the stop interrupted (restored with their pre-round
+	// stale bounds; the resumed run re-prices them).
+	Heap []CheckpointItem `json:"heap,omitempty"`
+	// CostBits carries the decomposition costs c(e) for the marginal
+	// drivers (IEEE-754 bits, indexed by element), so a resume skips the
+	// n+1 DecomposeStar oracle calls. Empty for the benefit-greedy drivers.
+	CostBits []uint64 `json:"cost_bits,omitempty"`
+	// MainDone marks a stop inside the free-element phase of the marginal
+	// drivers: the heap phase is complete and the resume goes straight to
+	// the remaining non-positive-cost elements (recomputed from CostBits
+	// minus Selected).
+	MainDone bool `json:"main_done,omitempty"`
+
+	// Counter snapshots, so a resumed Result continues counting as if the
+	// run had never stopped. Stale excludes pops of the interrupted round —
+	// the resume performs and counts them itself.
+	Iterations int `json:"iterations,omitempty"`
+	Pruned     int `json:"pruned,omitempty"`
+	Stale      int `json:"stale,omitempty"`
+	Reused     int `json:"reused,omitempty"`
+}
+
+// CheckpointItem is one snapshotted heap entry.
+type CheckpointItem struct {
+	E         int    `json:"e"`
+	BoundBits uint64 `json:"bound_bits"`
+	State     uint8  `json:"state"`
+}
+
+// lazyParams maps a lazy driver name to its chunk size and whether it runs
+// on a cost decomposition (marginal-ratio threshold 1 plus the free-element
+// phase) rather than raw benefit.
+func lazyParams(name string) (chunk int, marginal bool, err error) {
+	switch name {
+	case "MarginalGreedy":
+		return lazyChunkSize, true, nil
+	case "LazyMarginalGreedy":
+		return 1, true, nil
+	case "Greedy":
+		return lazyChunkSize, false, nil
+	case "LazyGreedy":
+		return 1, false, nil
+	}
+	return 0, false, fmt.Errorf("submod: %q is not a resumable lazy driver", name)
+}
+
+// captureLazy snapshots an interrupted lazy run. popped holds the items of
+// the oracle round the stop cut short (nil when the stop hit a round
+// boundary); they rejoin the heap with their pre-round bounds. staleAt is
+// the Stale counter before the interrupted round's pops.
+func captureLazy(name string, x Set, q *lazyQueue, popped []lazyItem, staleAt int, d *Decomposition, res *Result) *Checkpoint {
+	cp := &Checkpoint{
+		Algorithm:  name,
+		Selected:   x.Sorted(),
+		Iterations: res.Iterations,
+		Pruned:     res.Pruned,
+		Stale:      staleAt,
+		Reused:     res.Reused,
+	}
+	items := make([]lazyItem, 0, q.len()+len(popped))
+	items = append(items, q.items...)
+	items = append(items, popped...)
+	sortLazyItems(items)
+	for _, it := range items {
+		cp.Heap = append(cp.Heap, CheckpointItem{
+			E:         it.e,
+			BoundBits: math.Float64bits(it.bound),
+			State:     uint8(it.state),
+		})
+	}
+	if d != nil {
+		cp.CostBits = make([]uint64, len(d.C))
+		for i, c := range d.C {
+			cp.CostBits[i] = math.Float64bits(c)
+		}
+	}
+	return cp
+}
+
+// captureFree snapshots a stop inside the free-element phase.
+func captureFree(name string, x Set, d *Decomposition, res *Result) *Checkpoint {
+	if _, _, err := lazyParams(name); err != nil {
+		return nil // eager reference drivers do not checkpoint
+	}
+	cp := &Checkpoint{
+		Algorithm:  name,
+		Selected:   x.Sorted(),
+		MainDone:   true,
+		Iterations: res.Iterations,
+		Pruned:     res.Pruned,
+		Stale:      res.Stale,
+		Reused:     res.Reused,
+	}
+	cp.CostBits = make([]uint64, len(d.C))
+	for i, c := range d.C {
+		cp.CostBits[i] = math.Float64bits(c)
+	}
+	return cp
+}
+
+// sortLazyItems orders items canonically: (bound desc, element asc) — the
+// heap's total order, so rebuilding a heap from the sorted slice reproduces
+// the exact pop sequence of the snapshotted one.
+func sortLazyItems(items []lazyItem) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &items[j-1], &items[j]
+			if b.bound > a.bound || (b.bound == a.bound && b.e < a.e) {
+				items[j-1], items[j] = items[j], items[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// Validate checks the snapshot's internal consistency against a universe of
+// n elements: known algorithm, element indexes in range, no element both
+// selected and queued, costs present exactly when the driver needs them.
+func (cp *Checkpoint) Validate(n int) error {
+	_, marginal, err := lazyParams(cp.Algorithm)
+	if err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(cp.Selected)+len(cp.Heap))
+	for _, e := range cp.Selected {
+		if e < 0 || e >= n {
+			return fmt.Errorf("submod: checkpoint selects element %d outside universe [0,%d)", e, n)
+		}
+		if seen[e] {
+			return fmt.Errorf("submod: checkpoint selects element %d twice", e)
+		}
+		seen[e] = true
+	}
+	for _, it := range cp.Heap {
+		if it.E < 0 || it.E >= n {
+			return fmt.Errorf("submod: checkpoint queues element %d outside universe [0,%d)", it.E, n)
+		}
+		if seen[it.E] {
+			return fmt.Errorf("submod: checkpoint element %d both selected and queued", it.E)
+		}
+		seen[it.E] = true
+		if it.State > uint8(lazyExact) {
+			return fmt.Errorf("submod: checkpoint element %d has unknown lazy state %d", it.E, it.State)
+		}
+	}
+	if marginal {
+		if len(cp.CostBits) != n {
+			return fmt.Errorf("submod: checkpoint carries %d costs for a universe of %d", len(cp.CostBits), n)
+		}
+	} else {
+		if cp.MainDone {
+			return fmt.Errorf("submod: %s checkpoint marks a free phase it does not have", cp.Algorithm)
+		}
+		if len(cp.CostBits) != 0 {
+			return fmt.Errorf("submod: %s checkpoint carries costs it does not use", cp.Algorithm)
+		}
+	}
+	return nil
+}
+
+// ResumeLazy continues a lazy-driver run from a checkpoint against a fresh
+// oracle over the same universe. The final Result is bit-identical — same
+// set, same value, same Iterations/Pruned/Stale/Reused counters — to the
+// run the checkpoint interrupted had it never stopped, provided the oracle
+// prices sets identically (same search space; validated upstream by the
+// searcher fingerprint in repro.Checkpoint). The resumed run honors the
+// oracle's own Control, so it can itself stop and produce a further
+// checkpoint.
+func ResumeLazy(o *Oracle, cp *Checkpoint) (Result, error) {
+	if err := cp.Validate(o.N()); err != nil {
+		return Result{}, err
+	}
+	chunk, marginal, _ := lazyParams(cp.Algorithm)
+	var d *Decomposition
+	if marginal {
+		costs := make([]float64, len(cp.CostBits))
+		for i, b := range cp.CostBits {
+			costs[i] = math.Float64frombits(b)
+		}
+		d = NewDecomposition(o, costs)
+	}
+	res := Result{
+		Iterations: cp.Iterations,
+		Pruned:     cp.Pruned,
+		Stale:      cp.Stale,
+		Reused:     cp.Reused,
+	}
+	x := NewSet(cp.Selected...)
+	if !cp.MainDone {
+		q := lazyQueue{items: make([]lazyItem, 0, len(cp.Heap))}
+		for _, it := range cp.Heap {
+			q.push(lazyItem{e: it.E, bound: math.Float64frombits(it.BoundBits), state: lazyState(it.State)})
+		}
+		x = lazyRun(cp.Algorithm, o, d, &q, x, chunk, &res)
+	}
+	if marginal && res.Stopped == StopNone {
+		var free []int
+		for e := 0; e < o.N(); e++ {
+			if d.C[e] <= epsCost && !x.Contains(e) {
+				free = append(free, e)
+			}
+		}
+		x = addFree(cp.Algorithm, d, x, free, &res)
+	}
+	res.finish(o, x)
+	return res, nil
+}

@@ -1,0 +1,246 @@
+package submod
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// resumableDrivers enumerates every lazy driver with its entry point; the
+// checkpoint tests sweep all of them.
+var resumableDrivers = []struct {
+	name string
+	run  func(o *Oracle) Result
+}{
+	{"MarginalGreedy", func(o *Oracle) Result { return MarginalGreedy(DecomposeStar(o)) }},
+	{"LazyMarginalGreedy", func(o *Oracle) Result { return LazyMarginalGreedy(DecomposeStar(o)) }},
+	{"Greedy", func(o *Oracle) Result { return Greedy(o) }},
+	{"LazyGreedy", func(o *Oracle) Result { return LazyGreedy(o) }},
+}
+
+// roundTripCheckpoint pushes a checkpoint through its JSON wire form — the
+// shape repro.Session hands to HTTP clients — so the tests prove the
+// serialized token, not the in-memory struct, is what resumes.
+func roundTripCheckpoint(t *testing.T, cp *Checkpoint) *Checkpoint {
+	t.Helper()
+	b, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatalf("marshal checkpoint: %v", err)
+	}
+	out := &Checkpoint{}
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatalf("unmarshal checkpoint: %v", err)
+	}
+	return out
+}
+
+func assertResumeMatches(t *testing.T, label string, ref, got Result) {
+	t.Helper()
+	if !got.Set.Equal(ref.Set) {
+		t.Fatalf("%s: resumed set %v != uninterrupted %v", label, got.Set.Sorted(), ref.Set.Sorted())
+	}
+	if got.Value != ref.Value {
+		t.Fatalf("%s: resumed value %v != uninterrupted %v", label, got.Value, ref.Value)
+	}
+	if got.Iterations != ref.Iterations || got.Pruned != ref.Pruned ||
+		got.Stale != ref.Stale || got.Reused != ref.Reused {
+		t.Fatalf("%s: resumed counters %+v != uninterrupted %+v", label, got, ref)
+	}
+	if got.Stopped != StopNone || got.Checkpoint != nil {
+		t.Fatalf("%s: resumed run did not complete: stopped=%v checkpoint=%v", label, got.Stopped, got.Checkpoint)
+	}
+}
+
+func TestCheckpointResumeBitIdenticalEveryCutPoint(t *testing.T) {
+	// For every lazy driver and every possible call-budget cut point, a
+	// budget-stopped run plus a resume from its (JSON round-tripped)
+	// checkpoint must reproduce the uninterrupted run exactly: same set,
+	// same value, same Iterations/Pruned/Stale/Reused.
+	for _, dc := range resumableDrivers {
+		for seed := int64(0); seed < 3; seed++ {
+			refO := randomInstance(seed, 12)
+			ref := dc.run(refO)
+			total := refO.Calls
+			sawCheckpoint := false
+			for k := 0; k <= total; k++ {
+				o := randomInstance(seed, 12)
+				o.SetControl(&Control{MaxCalls: k, HasMaxCalls: true})
+				partial := dc.run(o)
+				if partial.Stopped == StopNone {
+					if !partial.Set.Equal(ref.Set) {
+						t.Fatalf("%s seed %d budget %d: unstopped run diverged", dc.name, seed, k)
+					}
+					continue
+				}
+				if partial.Stopped != StopCallBudget {
+					t.Fatalf("%s seed %d budget %d: stopped %v", dc.name, seed, k, partial.Stopped)
+				}
+				if partial.Checkpoint == nil {
+					// Stopped before the driver had any state to snapshot
+					// (e.g. the decomposition itself was truncated).
+					if !partial.Set.Empty() {
+						t.Fatalf("%s seed %d budget %d: non-empty stop without checkpoint", dc.name, seed, k)
+					}
+					continue
+				}
+				sawCheckpoint = true
+				cp := roundTripCheckpoint(t, partial.Checkpoint)
+				got, err := ResumeLazy(randomInstance(seed, 12), cp)
+				if err != nil {
+					t.Fatalf("%s seed %d budget %d: resume: %v", dc.name, seed, k, err)
+				}
+				assertResumeMatches(t, dc.name, ref, got)
+			}
+			if !sawCheckpoint {
+				t.Errorf("%s seed %d: no budget produced a checkpoint", dc.name, seed)
+			}
+		}
+	}
+}
+
+func TestCheckpointMidBatchCancelRestoresRound(t *testing.T) {
+	// A context cancellation lands mid-batch (unlike call budgets, which
+	// stop at round boundaries): the popped candidates of the cut round
+	// must rejoin the checkpoint with their pre-round bounds so the resume
+	// re-prices them, reproducing the uninterrupted run exactly.
+	const seed, n = 5, 12
+	refO := randomInstance(seed, n)
+	ref := Greedy(refO)
+	sawCheckpoint := false
+	for cut := 1; cut <= refO.Calls; cut++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		f := &cancelAfterFunc{inner: randomInstance(seed, n).F, left: cut, cancel: cancel}
+		o := NewOracle(f)
+		o.SetControl(&Control{Ctx: ctx})
+		partial := Greedy(o)
+		cancel()
+		if partial.Stopped == StopNone {
+			continue
+		}
+		if partial.Checkpoint == nil {
+			t.Fatalf("cut %d: stopped (%v) without checkpoint", cut, partial.Stopped)
+		}
+		sawCheckpoint = true
+		got, err := ResumeLazy(randomInstance(seed, n), roundTripCheckpoint(t, partial.Checkpoint))
+		if err != nil {
+			t.Fatalf("cut %d: resume: %v", cut, err)
+		}
+		assertResumeMatches(t, "Greedy/midbatch", ref, got)
+	}
+	if !sawCheckpoint {
+		t.Error("no cancellation point produced a checkpoint")
+	}
+}
+
+func TestCheckpointResumesFreePhase(t *testing.T) {
+	// Zero-cost elements force the marginal drivers into the free-element
+	// phase; budgets landing inside it must yield MainDone checkpoints that
+	// resume to the uninterrupted result.
+	for seed := int64(0); seed < 3; seed++ {
+		f := newBlockFunc(seed, 12, 3)
+		costs := append([]float64(nil), f.costs...)
+		costs[2], costs[7], costs[11] = 0, 0, 0
+		ref := MarginalGreedy(NewDecomposition(NewOracle(f), costs))
+		refCalls := 0
+		{
+			o := NewOracle(f)
+			MarginalGreedy(NewDecomposition(o, costs))
+			refCalls = o.Calls
+		}
+		sawFree := false
+		for k := 0; k <= refCalls; k++ {
+			o := NewOracle(f)
+			o.SetControl(&Control{MaxCalls: k, HasMaxCalls: true})
+			partial := MarginalGreedy(NewDecomposition(o, costs))
+			if partial.Checkpoint == nil {
+				continue
+			}
+			if partial.Checkpoint.MainDone {
+				sawFree = true
+			}
+			got, err := ResumeLazy(NewOracle(f), roundTripCheckpoint(t, partial.Checkpoint))
+			if err != nil {
+				t.Fatalf("seed %d budget %d: resume: %v", seed, k, err)
+			}
+			assertResumeMatches(t, "MarginalGreedy/free", ref, got)
+		}
+		if !sawFree {
+			t.Errorf("seed %d: no budget cut inside the free phase", seed)
+		}
+	}
+}
+
+func TestCheckpointChainedResume(t *testing.T) {
+	// A resumed run under a budget produces a further checkpoint; chaining
+	// tiny-budget resumes to completion must still reproduce the
+	// uninterrupted run. This is the preemption loop a scheduler would
+	// drive.
+	const seed, n = 1, 12
+	refO := randomInstance(seed, n)
+	ref := LazyMarginalGreedy(DecomposeStar(refO))
+	o := randomInstance(seed, n)
+	o.SetControl(&Control{MaxCalls: n + 3, HasMaxCalls: true})
+	partial := LazyMarginalGreedy(DecomposeStar(o))
+	if partial.Checkpoint == nil {
+		t.Fatalf("budget %d produced no checkpoint (stopped %v)", n+3, partial.Stopped)
+	}
+	cp := partial.Checkpoint
+	hops := 0
+	var got Result
+	for {
+		if hops++; hops > 500 {
+			t.Fatal("chained resume made no progress")
+		}
+		o := randomInstance(seed, n)
+		o.SetControl(&Control{MaxCalls: 3, HasMaxCalls: true})
+		r, err := ResumeLazy(o, roundTripCheckpoint(t, cp))
+		if err != nil {
+			t.Fatalf("hop %d: %v", hops, err)
+		}
+		if r.Stopped == StopNone {
+			got = r
+			break
+		}
+		if r.Checkpoint == nil {
+			t.Fatalf("hop %d: stopped (%v) without checkpoint", hops, r.Stopped)
+		}
+		cp = r.Checkpoint
+	}
+	if !got.Set.Equal(ref.Set) || got.Value != ref.Value {
+		t.Fatalf("chained resume diverged: %v (%v) != %v (%v)",
+			got.Set.Sorted(), got.Value, ref.Set.Sorted(), ref.Value)
+	}
+}
+
+func TestCheckpointValidateRejectsMalformed(t *testing.T) {
+	good := func() *Checkpoint {
+		return &Checkpoint{
+			Algorithm: "Greedy",
+			Selected:  []int{1},
+			Heap:      []CheckpointItem{{E: 2}, {E: 3}},
+		}
+	}
+	cases := []struct {
+		label  string
+		mutate func(cp *Checkpoint)
+	}{
+		{"unknown algorithm", func(cp *Checkpoint) { cp.Algorithm = "EagerGreedy" }},
+		{"element out of range", func(cp *Checkpoint) { cp.Selected = []int{99} }},
+		{"selected twice", func(cp *Checkpoint) { cp.Selected = []int{1, 1} }},
+		{"selected and queued", func(cp *Checkpoint) { cp.Heap[0].E = 1 }},
+		{"bad lazy state", func(cp *Checkpoint) { cp.Heap[0].State = 9 }},
+		{"costs on benefit driver", func(cp *Checkpoint) { cp.CostBits = make([]uint64, 10) }},
+		{"free phase on benefit driver", func(cp *Checkpoint) { cp.MainDone = true }},
+		{"missing costs", func(cp *Checkpoint) { cp.Algorithm = "MarginalGreedy" }},
+	}
+	for _, c := range cases {
+		cp := good()
+		c.mutate(cp)
+		if err := cp.Validate(10); err == nil {
+			t.Errorf("%s: Validate accepted the checkpoint", c.label)
+		}
+	}
+	if err := good().Validate(10); err != nil {
+		t.Errorf("well-formed checkpoint rejected: %v", err)
+	}
+}

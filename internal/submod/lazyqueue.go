@@ -1,6 +1,10 @@
 package submod
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/faultinject"
+)
 
 // lazyChunkSize is the number of stale candidates a batched-lazy driver
 // refreshes per oracle round once every candidate has been priced at least
@@ -145,23 +149,34 @@ func (q *lazyQueue) demote(inter InteractionFunction, x int) int {
 // affects which element is selected.
 //
 // Budgets and cancellation are checked before every oracle round; a
-// stopped run keeps the deterministic greedy prefix selected so far.
+// stopped run keeps the deterministic greedy prefix selected so far and
+// exports a Checkpoint (see checkpoint.go) from which ResumeLazy continues
+// bit-identically.
 func lazyMaximize(name string, o *Oracle, d *Decomposition, cands []int, chunk int, res *Result) Set {
+	q := lazyQueue{items: make([]lazyItem, 0, len(cands))}
+	for _, e := range cands {
+		q.push(lazyItem{e: e, bound: math.Inf(1), state: lazyStale})
+	}
+	return lazyRun(name, o, d, &q, Set{}, chunk, res)
+}
+
+// lazyRun is the driver loop behind lazyMaximize and ResumeLazy: it takes
+// over an existing heap and selection, so a resumed run enters exactly the
+// state the interrupted one left.
+func lazyRun(name string, o *Oracle, d *Decomposition, q *lazyQueue, x Set, chunk int, res *Result) Set {
 	inter, _ := o.F.(InteractionFunction)
 	threshold := 0.0
 	if d != nil {
 		threshold = 1
 	}
-	q := lazyQueue{items: make([]lazyItem, 0, len(cands))}
-	for _, e := range cands {
-		q.push(lazyItem{e: e, bound: math.Inf(1), state: lazyStale})
-	}
-	x := Set{}
 	var sets []Set
 	var elems []int
+	var popped []lazyItem
 	for q.len() > 0 {
+		faultinject.Hit(faultinject.Round)
 		if o.Interrupted() {
 			res.Stopped = o.StopReason()
+			res.Checkpoint = captureLazy(name, x, q, nil, res.Stale, d, res)
 			break
 		}
 		top := q.items[0]
@@ -192,13 +207,16 @@ func lazyMaximize(name string, o *Oracle, d *Decomposition, cands []int, chunk i
 		// Never-evaluated candidates (infinite bound) are refreshed
 		// together regardless of chunk, so the first round prices the
 		// whole universe in a single batch.
+		staleAt := res.Stale
 		elems = elems[:0]
+		popped = popped[:0]
 		for q.len() > 0 && q.items[0].state == lazyStale &&
 			(len(elems) < chunk || math.IsInf(q.items[0].bound, 1)) {
 			it := q.popTop()
 			if !math.IsInf(it.bound, 1) {
 				res.Stale++
 			}
+			popped = append(popped, it)
 			elems = append(elems, it.e)
 		}
 		sets = sets[:0]
@@ -207,7 +225,12 @@ func lazyMaximize(name string, o *Oracle, d *Decomposition, cands []int, chunk i
 		}
 		vals, ok := o.EvalBatch(sets)
 		if !ok {
+			// The round was cut short. The popped candidates rejoin the
+			// checkpoint heap with their pre-round stale bounds (its Stale
+			// snapshot rolls back likewise), so the resumed run re-prices
+			// them exactly as this round would have.
 			res.Stopped = o.StopReason()
+			res.Checkpoint = captureLazy(name, x, q, popped, staleAt, d, res)
 			break
 		}
 		cur := o.Eval(x)

@@ -130,7 +130,7 @@ func TestLazyChunkSizeDoesNotChangeSelection(t *testing.T) {
 			d := DecomposeStar(randomInstance(seed, 14))
 			cands, free := d.positiveCostSplit()
 			x := lazyMaximize("test", d.o, d, cands, chunk, &res)
-			x, _ = addFree(d, x, free)
+			x = addFree("test", d, x, free, &res)
 			if !ref.Set.Equal(x) {
 				t.Fatalf("seed %d chunk %d: %v != chunk-1 %v", seed, chunk, x.Sorted(), ref.Set.Sorted())
 			}

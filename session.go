@@ -30,10 +30,58 @@ const (
 	StopCancelled  = submod.StopCancelled
 	StopTimeBudget = submod.StopTimeBudget
 	StopCallBudget = submod.StopCallBudget
+	StopPanic      = submod.StopPanic
 )
 
 // Telemetry is the per-run accounting carried by every Result.
 type Telemetry = core.Telemetry
+
+// Checkpoint is the resumable token of an interrupted Optimize call: the
+// round-boundary snapshot of the greedy scan plus the fingerprint of the
+// search space it was taken against. It is pure JSON-able data with no
+// session state, so it can travel to a client and resume on any session
+// over the same catalog, batch, and operator flags — including after the
+// original session was quarantined by a panic (the committed prefix is
+// exact regardless of what the panic poisoned).
+type Checkpoint struct {
+	// Fingerprint identifies the compiled search space and operator flags
+	// (physical.Searcher.Fingerprint). WithResume validates it against the
+	// rebuilt optimizer and rejects a mismatch with ErrResumeMismatch
+	// instead of resuming against a different problem.
+	Fingerprint uint64 `json:"fingerprint"`
+	// State is the algorithm snapshot; its Algorithm field decides the
+	// strategy of the resumed run.
+	State *submod.Checkpoint `json:"state"`
+}
+
+// ErrResumeMismatch reports a WithResume checkpoint taken against a
+// different search space than the one the call rebuilt: different batch,
+// catalog scale, rule ablations, or operator flags.
+var ErrResumeMismatch = errors.New("repro: checkpoint does not match this batch's search space")
+
+// FaultError is the error of an Optimize call stopped by a recovered
+// panic. The process survived — the panic was isolated inside the oracle's
+// worker pool — but this session's caches may be inconsistent: the caller
+// must stop using the session (a pool should quarantine it). The committed
+// greedy prefix is still exact, so Checkpoint (when the run had selected
+// state) resumes on a fresh session; Telemetry reports the faulted run's
+// accounting, which is deliberately NOT added to the session Stats.
+type FaultError struct {
+	// Panic is the recovered panic (a *faultinject.PanicError with the
+	// panic value and the stack captured at the recovery site).
+	Panic error
+	// Checkpoint resumes the interrupted run's committed prefix; nil when
+	// the run faulted before it had any state.
+	Checkpoint *Checkpoint
+	// Telemetry is the faulted run's accounting (Stopped == StopPanic).
+	Telemetry Telemetry
+}
+
+// Error implements error.
+func (e *FaultError) Error() string { return "repro: optimization faulted: " + e.Panic.Error() }
+
+// Unwrap exposes the recovered panic to errors.Is/As.
+func (e *FaultError) Unwrap() error { return e.Panic }
 
 // config carries the session and per-call knobs; per-call options override
 // the session's defaults.
@@ -46,6 +94,7 @@ type config struct {
 	progress    func(Progress)
 	extendedOps bool
 	memoOpts    []memo.Option
+	resume      *Checkpoint
 }
 
 // Option configures a Session (defaults for every call) or a single
@@ -103,6 +152,18 @@ func WithMemoOptions(opts ...memo.Option) Option {
 	return func(c *config) { c.memoOpts = append(c.memoOpts, opts...) }
 }
 
+// WithResume continues an interrupted run from its checkpoint instead of
+// restarting: the call rebuilds the DAG for the batch as usual, validates
+// the checkpoint's fingerprint against it (ErrResumeMismatch on any
+// difference), and re-enters the greedy scan exactly where it stopped. The
+// resumed strategy is the checkpoint's — WithStrategy is ignored — and
+// budgets apply to the continuation, which can itself stop and return a
+// further checkpoint. Resume-after-stop is bit-identical to an
+// uninterrupted run over the same batch.
+func WithResume(cp *Checkpoint) Option {
+	return func(c *config) { c.resume = cp }
+}
+
 // SessionStats aggregates telemetry across a session's Optimize calls.
 // Every counter is the exact sum of the corresponding per-call Telemetry
 // field, so a caller holding all RunResults can reconcile the aggregate
@@ -110,17 +171,22 @@ func WithMemoOptions(opts ...memo.Option) Option {
 // tags are the wire contract of /v1/stats; durations marshal as
 // nanoseconds.
 type SessionStats struct {
-	Batches       int           `json:"batches"`             // Optimize calls completed
-	Interrupted   int           `json:"interrupted"`         // calls stopped by a budget or cancellation
-	OracleCalls   int           `json:"oracle_calls"`        // total memoized-distinct oracle calls
-	BCCalls       int           `json:"bc_calls"`            // total bestCost invocations
-	CacheHits     int           `json:"cache_hits"`          // worker-private (L1) cache hits
-	SharedHits    int           `json:"shared_hits"`         // session SharedCache (L2) hits
-	Rounds        int           `json:"rounds"`              // completed greedy rounds
-	Invalidations int           `json:"cache_invalidations"` // InvalidateCache calls
-	BuildTime     time.Duration `json:"build_ns"`            // DAG construction
-	OptTime       time.Duration `json:"opt_ns"`              // strategy runs
-	ExtractTime   time.Duration `json:"extract_ns"`          // consolidated-plan extraction
+	Batches       int `json:"batches"`             // Optimize calls completed
+	Interrupted   int `json:"interrupted"`         // calls stopped by a budget or cancellation
+	OracleCalls   int `json:"oracle_calls"`        // total memoized-distinct oracle calls
+	BCCalls       int `json:"bc_calls"`            // total bestCost invocations
+	CacheHits     int `json:"cache_hits"`          // worker-private (L1) cache hits
+	SharedHits    int `json:"shared_hits"`         // session SharedCache (L2) hits
+	Rounds        int `json:"rounds"`              // completed greedy rounds
+	Invalidations int `json:"cache_invalidations"` // InvalidateCache calls
+	// Faults counts Optimize calls stopped by a recovered panic. A faulted
+	// call contributes ONLY here: its telemetry is excluded from every
+	// other counter (and the call returns a *FaultError, not a RunResult),
+	// so the sum-over-responses reconciliation above still balances.
+	Faults      int           `json:"faults"`
+	BuildTime   time.Duration `json:"build_ns"`   // DAG construction
+	OptTime     time.Duration `json:"opt_ns"`     // strategy runs
+	ExtractTime time.Duration `json:"extract_ns"` // consolidated-plan extraction
 }
 
 // Session is a long-lived handle for optimizing many batches against one
@@ -188,6 +254,10 @@ type RunResult struct {
 	Plan        *Plan
 	BuildTime   time.Duration // combined-DAG construction
 	ExtractTime time.Duration // consolidated-plan extraction
+	// Checkpoint, set when the run stopped early under a resumable lazy
+	// strategy, is the token WithResume continues from. (It shadows the
+	// embedded core result's raw snapshot, adding the fingerprint pin.)
+	Checkpoint *Checkpoint
 
 	opt *volcano.Optimizer
 }
@@ -239,7 +309,38 @@ func (s *Session) Optimize(ctx context.Context, batch *logical.Batch, opts ...Op
 	if cfg.hasBudget {
 		cc = cc.LimitOracleCalls(cfg.callBudget)
 	}
-	res := core.RunWith(ctx, opt, cfg.strategy, cc)
+	var res Result
+	if cfg.resume != nil {
+		if cfg.resume.State == nil {
+			return nil, errors.New("repro: checkpoint carries no state")
+		}
+		if cfg.resume.Fingerprint != opt.Searcher.Fingerprint() {
+			return nil, ErrResumeMismatch
+		}
+		res, err = core.ResumeWith(ctx, opt, cfg.resume.State, cc)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res = core.RunWith(ctx, opt, cfg.strategy, cc)
+	}
+	var cp *Checkpoint
+	if res.Checkpoint != nil {
+		cp = &Checkpoint{Fingerprint: opt.Searcher.Fingerprint(), State: res.Checkpoint}
+	}
+	if res.Fault != nil {
+		// The run was stopped by a recovered panic. The searcher's caches
+		// may be inconsistent, so neither plan extraction nor cache
+		// publication may touch them (a poisoned entry published into the
+		// session cache would outlive the searcher); only the Faults
+		// counter records the call, keeping the stats-vs-responses
+		// reconciliation balanced. The session itself must be quarantined
+		// by its owner — the shared cache it already holds is suspect.
+		s.mu.Lock()
+		s.stats.Faults++
+		s.mu.Unlock()
+		return nil, &FaultError{Panic: res.Fault, Checkpoint: cp, Telemetry: res.Telemetry}
+	}
 
 	extractStart := time.Now()
 	plan := opt.Plan(res.MatSet())
@@ -268,6 +369,7 @@ func (s *Session) Optimize(ctx context.Context, batch *logical.Batch, opts ...Op
 		Plan:        plan,
 		BuildTime:   build,
 		ExtractTime: extract,
+		Checkpoint:  cp,
 		opt:         opt,
 	}, nil
 }

@@ -11,6 +11,14 @@
 //	          [-drain-grace 2s] [-drain-timeout 30s]
 //	          [-breaker-off] [-breaker-failures 3] [-breaker-cooldown 10s]
 //	          [-degraded-time-budget 2s] [-degraded-call-budget 50000]
+//	          [-batch] [-batch-max 8] [-batch-delay 5ms] [-batch-queries 0]
+//
+// -batch enables cross-request continuous batching: admitted requests
+// with the same catalog and effective run options briefly wait for peers
+// (-batch-delay), are optimized as one shared run, and each receives its
+// exact attributed slice — plan, costs and a conserving telemetry share
+// the tenant quota is charged with. See internal/server's package doc
+// for the batching contract.
 //
 // The -tenants file is a JSON object mapping tenant name to its limits;
 // the -max-concurrent/-queue-*/-*-budget flags configure the default
@@ -71,6 +79,11 @@ func main() {
 		drainGrace    = flag.Duration("drain-grace", 2*time.Second, "how long to keep answering (503) after SIGTERM so load balancers observe the drain before the listener closes")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get after SIGTERM")
 
+		batch        = flag.Bool("batch", false, "enable cross-request continuous batching (one shared run per flush, exact per-request attribution)")
+		batchMax     = flag.Int("batch-max", 8, "batching: flush a lane once this many requests wait in it")
+		batchDelay   = flag.Duration("batch-delay", 5*time.Millisecond, "batching: max time the first request of a lane waits for peers")
+		batchQueries = flag.Int("batch-queries", 0, "batching: flush a lane once its combined query count reaches this (0 = size/deadline flushing only)")
+
 		breakerOff      = flag.Bool("breaker-off", false, "disable the per-catalog circuit breaker")
 		breakerFailures = flag.Int("breaker-failures", 3, "consecutive faults that degrade a catalog, and again that open it; consecutive successes that close it")
 		breakerCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "how long an open catalog rejects before admitting a degraded probe")
@@ -93,6 +106,12 @@ func main() {
 		MaxQueries:    *maxQueries,
 		DefaultSF:     *sf,
 		Logger:        log.Default(),
+		Batch: server.BatchConfig{
+			Enabled:     *batch,
+			MaxRequests: *batchMax,
+			MaxDelayMS:  batchDelay.Milliseconds(),
+			MaxQueries:  *batchQueries,
+		},
 		Breaker: server.BreakerConfig{
 			Disabled:             *breakerOff,
 			FailureThreshold:     *breakerFailures,

@@ -20,6 +20,7 @@ type Option func(*buildConfig)
 type buildConfig struct {
 	noSelectSubsumption bool
 	noAggSubsumption    bool
+	cache               *BuildCache
 }
 
 // WithoutSelectSubsumption disables the select-subsumption rule.
@@ -48,13 +49,19 @@ func Build(cat *catalog.Catalog, model cost.Model, batch *logical.Batch, opts ..
 	}
 	m := New(cat, model)
 	for qi, q := range batch.Queries {
-		if err := q.Validate(cat); err != nil {
+		ctx := "q" + strconv.Itoa(qi)
+		root, ok, err := buildInterned(m, cfg.cache, q, ctx)
+		if err != nil {
 			return nil, err
 		}
-		ctx := "q" + strconv.Itoa(qi)
-		root, err := m.buildBlock(q.Root, ctx)
-		if err != nil {
-			return nil, fmt.Errorf("query %q: %w", q.Name, err)
+		if !ok {
+			if err := q.Validate(cat); err != nil {
+				return nil, err
+			}
+			root, err = m.buildBlock(q.Root, ctx)
+			if err != nil {
+				return nil, fmt.Errorf("query %q: %w", q.Name, err)
+			}
 		}
 		m.QueryRoots = append(m.QueryRoots, root)
 		m.QueryNames = append(m.QueryNames, q.Name)

@@ -1,0 +1,207 @@
+package memo
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/tpcd"
+	"repro/internal/workload"
+)
+
+// equalMemos asserts two memos are structurally identical: same groups in
+// the same id order (signature, flags, properties, expression keys,
+// consumer sets) and the same query roots.
+func equalMemos(t *testing.T, a, b *Memo) {
+	t.Helper()
+	if a.NumGroups() != b.NumGroups() || a.NumExprs() != b.NumExprs() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", a.NumGroups(), a.NumExprs(), b.NumGroups(), b.NumExprs())
+	}
+	for i := 0; i < a.NumGroups(); i++ {
+		ga, gb := a.Group(GroupID(i)), b.Group(GroupID(i))
+		if ga.Sig != gb.Sig {
+			t.Fatalf("group %d sig %q vs %q", i, ga.Sig, gb.Sig)
+		}
+		if ga.Leaf != gb.Leaf || ga.BasePred != gb.BasePred {
+			t.Fatalf("group %d flags differ", i)
+		}
+		if ga.Props.Rows != gb.Props.Rows || ga.Props.Width != gb.Props.Width {
+			t.Fatalf("group %d props differ: %v/%d vs %v/%d", i, ga.Props.Rows, ga.Props.Width, gb.Props.Rows, gb.Props.Width)
+		}
+		if len(ga.Props.Cols) != len(gb.Props.Cols) {
+			t.Fatalf("group %d column stats differ", i)
+		}
+		for k, v := range ga.Props.Cols {
+			if gb.Props.Cols[k] != v {
+				t.Fatalf("group %d column %v stats differ", i, k)
+			}
+		}
+		if len(ga.Exprs) != len(gb.Exprs) {
+			t.Fatalf("group %d expr count %d vs %d", i, len(ga.Exprs), len(gb.Exprs))
+		}
+		for j := range ga.Exprs {
+			if exprKey(ga.Exprs[j]) != exprKey(gb.Exprs[j]) {
+				t.Fatalf("group %d expr %d differs:\n  %s\n  %s", i, j, exprKey(ga.Exprs[j]), exprKey(gb.Exprs[j]))
+			}
+		}
+		if len(ga.Consumers) != len(gb.Consumers) {
+			t.Fatalf("group %d consumer count differs", i)
+		}
+		for c := range ga.Consumers {
+			if !gb.Consumers[c] {
+				t.Fatalf("group %d consumer %q missing", i, c)
+			}
+		}
+	}
+	if len(a.QueryRoots) != len(b.QueryRoots) {
+		t.Fatalf("root count differs")
+	}
+	for i := range a.QueryRoots {
+		if a.QueryRoots[i] != b.QueryRoots[i] || a.QueryNames[i] != b.QueryNames[i] {
+			t.Fatalf("root %d differs: %d %q vs %d %q", i, a.QueryRoots[i], a.QueryNames[i], b.QueryRoots[i], b.QueryNames[i])
+		}
+	}
+}
+
+// Interned builds must be bit-identical to legacy builds across generated
+// workload shapes and sharing regimes — including on a warm cache, where
+// every query replays a stored recipe.
+func TestInternedBuildMatchesLegacy(t *testing.T) {
+	cat := tpcd.Catalog(1)
+	for _, shape := range []workload.Shape{workload.Star, workload.Chain, workload.Snowflake, workload.Mixed} {
+		for _, sharing := range []float64{0.25, 0.75} {
+			spec := workload.DefaultSpec(12, sharing)
+			spec.Shape = shape
+			spec.Seed = int64(17 + int(shape)*100)
+			batch, err := workload.Generate(spec)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			legacy, err := Build(cat, cost.Default(), batch)
+			if err != nil {
+				t.Fatalf("legacy Build: %v", err)
+			}
+			cache := NewBuildCache()
+			cold, err := Build(cat, cost.Default(), batch, WithBuildCache(cache))
+			if err != nil {
+				t.Fatalf("cold interned Build: %v", err)
+			}
+			equalMemos(t, legacy, cold)
+			warm, err := Build(cat, cost.Default(), batch, WithBuildCache(cache))
+			if err != nil {
+				t.Fatalf("warm interned Build: %v", err)
+			}
+			equalMemos(t, legacy, warm)
+			hits, misses := cache.Stats()
+			if hits < int64(len(batch.Queries)) {
+				t.Fatalf("shape %v σ=%v: warm build hit %d recipes for %d queries (misses %d)",
+					shape, sharing, hits, len(batch.Queries), misses)
+			}
+		}
+	}
+}
+
+// Self-joins exercise the per-block occurrence ordinals in leaf
+// signatures; duplicate queries exercise recipe reuse inside one batch.
+func TestInternedBuildSelfJoinAndDuplicates(t *testing.T) {
+	mk := func(alias1, alias2 string) *logical.Query {
+		return logical.NewBlock().Scan("t1", alias1).Scan("t1", alias2).Scan("t2", "p").
+			Cmp(alias1+".v", expr.LT, 40).
+			Join(alias1+".fk", alias2+".id").Join(alias2+".fk", "p.id").
+			GroupBy(alias1 + ".v").Sum("p.v").Query("q")
+	}
+	b := &logical.Batch{}
+	b.Add(mk("a", "b"))
+	b.Add(mk("a", "b")) // exact duplicate: must share a recipe and unify fully
+	b.Add(mk("x", "y")) // alias-renamed: separate recipe, same groups
+	legacy, err := Build(testCatalog(), cost.Default(), b)
+	if err != nil {
+		t.Fatalf("legacy Build: %v", err)
+	}
+	cache := NewBuildCache()
+	interned, err := Build(testCatalog(), cost.Default(), b, WithBuildCache(cache))
+	if err != nil {
+		t.Fatalf("interned Build: %v", err)
+	}
+	equalMemos(t, legacy, interned)
+	if interned.QueryRoots[0] != interned.QueryRoots[1] {
+		t.Fatalf("duplicate queries did not unify to one root")
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2 (duplicate hits, rename records)", hits, misses)
+	}
+}
+
+// Ineligible queries (derived sources) must fall back to the legacy path
+// transparently.
+func TestInternedBuildFallbackForDerived(t *testing.T) {
+	inner := logical.NewBlock().Scan("t1", "a").Scan("t2", "b").
+		Join("a.fk", "b.id").
+		GroupBy("a.v").Sum("b.v")
+	q := &logical.Query{Name: "outer", Root: &logical.Block{
+		Sources: []logical.Source{
+			{Alias: "d", Sub: inner.Build()},
+			{Alias: "t", Table: "t3"},
+		},
+		Joins: []expr.EqJoin{{
+			Left:  expr.Col{Alias: "d", Column: "v"},
+			Right: expr.Col{Alias: "t", Column: "v"},
+		}},
+	}}
+	b := &logical.Batch{}
+	b.Add(q)
+	legacy, err := Build(testCatalog(), cost.Default(), b)
+	if err != nil {
+		t.Fatalf("legacy Build: %v", err)
+	}
+	cache := NewBuildCache()
+	interned, err := Build(testCatalog(), cost.Default(), b, WithBuildCache(cache))
+	if err != nil {
+		t.Fatalf("interned Build: %v", err)
+	}
+	equalMemos(t, legacy, interned)
+	if hits, misses := cache.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("derived-source query touched the recipe cache: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// Invalid queries must still be rejected with the cache attached, both on
+// the record path and (structurally different key) never via a stale hit.
+func TestInternedBuildStillValidates(t *testing.T) {
+	bad := logical.NewBlock().Scan("nope", "a").Query("bad")
+	b := &logical.Batch{}
+	b.Add(bad)
+	cache := NewBuildCache()
+	if _, err := Build(testCatalog(), cost.Default(), b, WithBuildCache(cache)); err == nil {
+		t.Fatalf("invalid query accepted with build cache attached")
+	}
+}
+
+// The FIFO ring must bound the cache and keep serving correct results
+// after evictions.
+func TestBuildCacheEviction(t *testing.T) {
+	cache := NewBuildCache()
+	cache.max = 4
+	for i := 0; i < 10; i++ {
+		q := logical.NewBlock().Scan("t1", "a").Scan("t2", "b").
+			Cmp("a.v", expr.LT, float64(i)).
+			Join("a.fk", "b.id").Query("q")
+		b := &logical.Batch{}
+		b.Add(q)
+		m, err := Build(testCatalog(), cost.Default(), b, WithBuildCache(cache))
+		if err != nil {
+			t.Fatalf("Build %d: %v", i, err)
+		}
+		if m.NumGroups() == 0 {
+			t.Fatalf("Build %d: empty memo", i)
+		}
+	}
+	cache.mu.Lock()
+	n := len(cache.recipes)
+	cache.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("cache grew past cap: %d entries", n)
+	}
+}

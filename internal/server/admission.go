@@ -141,6 +141,9 @@ type Admission struct {
 	declared int // tenants pre-declared at construction
 	defCfg   TenantConfig
 	strict   bool
+	// newTimer is the queue-wait clock hook; tests swap it for a manual
+	// trigger so timeout/handoff races are driven deterministically.
+	newTimer func(time.Duration) (<-chan time.Time, func() bool)
 }
 
 // NewAdmission builds a controller. def is the config for tenants not in
@@ -152,6 +155,10 @@ func NewAdmission(def TenantConfig, cfgs map[string]TenantConfig, strict bool) *
 		declared: len(cfgs),
 		defCfg:   def.normalize(),
 		strict:   strict,
+		newTimer: func(d time.Duration) (<-chan time.Time, func() bool) {
+			t := time.NewTimer(d)
+			return t.C, t.Stop
+		},
 	}
 	for name, c := range cfgs {
 		a.tenants[name] = &tenant{name: name, cfg: c.normalize()}
@@ -221,12 +228,12 @@ func (a *Admission) Acquire(ctx context.Context, name string) (release func(orac
 	t.queue = append(t.queue, w)
 	t.mu.Unlock()
 
-	timer := time.NewTimer(t.cfg.queueWait())
-	defer timer.Stop()
+	timerC, stopTimer := a.newTimer(t.cfg.queueWait())
+	defer stopTimer()
 	select {
 	case <-w.ch:
 		return t.settle(w, nil, nil)
-	case <-timer.C:
+	case <-timerC:
 		return t.settle(w, &t.stats.QueueTimeouts, ErrQueueTimeout)
 	case <-ctx.Done():
 		return t.settle(w, &t.stats.Cancelled, ErrCancelled)

@@ -51,6 +51,57 @@
 // resume_mismatch, internal_panic, internal_error) — clients dispatch on
 // the code; the human-readable "error" text is not contractual.
 //
+// # Continuous batching
+//
+// With Config.Batch.Enabled (strictly opt-in — the zero value serves
+// every request solo, exactly as before), admitted optimize requests
+// enter per-lane accumulators instead of running immediately. A lane is
+// keyed by everything that must match for one shared run to stand in for
+// each member's solo run: the catalog (pool key), the fully-clamped
+// effective run spec (strategy, parallelism, time and call budgets after
+// tenant caps and degradation clamps), and the degradation flag. Tenancy
+// is deliberately NOT in the key — cross-tenant sharing is the point, and
+// attribution keeps each tenant's accounting exact. Requests carrying a
+// resume checkpoint bypass batching (a checkpoint binds to its original
+// search space).
+//
+// A lane flushes when MaxRequests members wait in it, when their combined
+// query count reaches MaxQueries (if set), or when the first member has
+// waited MaxDelay. The flush first excises members whose clients already
+// disconnected (answered 499, never part of the run), then coalesces the
+// rest: members whose batches are structurally identical — equal per-query
+// memo fingerprints and names — collapse into ONE group served by one
+// sub-run (eight identical clients cost one solo run, the throughput
+// lever), while distinct batches stay separate groups of one combined
+// DAG. One Session.OptimizeShared call optimizes all groups together and
+// returns per-group attributions.
+//
+// Attribution is exact, not estimated: each member receives its own
+// materialization-set slice, its own plan summary (only its queries, only
+// the steps its attribution owns a share of), its own cost/benefit plus a
+// SharedCreditMS subsidy, and a conserving telemetry share — summing the
+// members' Telemetry fields reproduces the shared run's exactly, which is
+// what the tenant quota is charged with (one member of an n-way
+// coalesced group pays ~1/n of that group's oracle calls). The same
+// conservation holds for faulted runs: the telemetry the run burned
+// before a panic is split across the members and charged, under one
+// incident id and one session quarantine. Disconnection of SOME members
+// never aborts a running shared optimization (the survivors are riding
+// it); only when every member's client is gone is the run cancelled. A
+// member whose batch is invalid against the catalog cannot poison its
+// peers: the combined-build failure falls back to per-member solo runs,
+// so the guilty request gets its own 400 and the others are served
+// unbatched.
+//
+// Two sharp edges the contract pins down. Privacy/safety: PlanText and
+// resumable checkpoints are only delivered when the batch has exactly one
+// member — a combined run's rendered plan and checkpoints span every
+// member's queries and search space. Sizing: members waiting in a lane
+// hold their admission slots, so a tenant's MaxConcurrent should be at
+// least Batch.MaxRequests (the default 5ms MaxDelay bounds the wait
+// regardless, but an undersized tenant can never fill a lane and loses
+// the coalescing win).
+//
 // # Fault tolerance
 //
 // A panic inside an optimization — in the batched-oracle workers, the

@@ -49,6 +49,9 @@ type Config struct {
 	// Breaker parameterizes the per-catalog circuit breaker (degraded and
 	// open serving after repeated faults).
 	Breaker BreakerConfig
+	// Batch parameterizes cross-request continuous batching; the zero
+	// value disables it and every request is served solo.
+	Batch BatchConfig
 	// Logger receives request-level diagnostics; nil discards them.
 	Logger *log.Logger
 }
@@ -76,6 +79,9 @@ func (c Config) normalize() Config {
 		c.AllowedSFs = append(c.AllowedSFs, c.DefaultSF)
 	}
 	c.Breaker = c.Breaker.normalize()
+	if c.Batch.Enabled {
+		c.Batch = c.Batch.normalize()
+	}
 	return c
 }
 
@@ -85,6 +91,7 @@ type Server struct {
 	adm      *Admission
 	pool     *sessionPool
 	breaker  *breaker
+	batcher  *batcher // nil unless Config.Batch.Enabled
 	started  time.Time
 	draining atomic.Bool
 	// panics counts panics recovered anywhere on the serving path
@@ -105,13 +112,17 @@ type Server struct {
 // New builds a Server over its config.
 func New(cfg Config) *Server {
 	cfg = cfg.normalize()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		adm:     NewAdmission(cfg.DefaultTenant, cfg.Tenants, cfg.StrictTenants),
 		pool:    newSessionPool(cfg.PoolSize),
 		breaker: newBreaker(cfg.Breaker),
 		started: time.Now(),
 	}
+	if cfg.Batch.Enabled {
+		s.batcher = newBatcher(s, cfg.Batch)
+	}
+	return s
 }
 
 // Admission exposes the admission controller (quota resets, stats).
@@ -270,54 +281,84 @@ func (s *Server) buildBatch(req *OptimizeRequest) (*logical.Batch, error) {
 	return batch, nil
 }
 
-// optimizeOptions maps the request and its tenant's caps onto Session
-// options: the effective budget is the tighter of the request's ask, the
-// tenant's cap, and — when the catalog's breaker serves degraded — the
-// degraded clamp. Degraded serving also forces the cheap LazyGreedy
-// fallback strategy (resume requests keep their checkpoint's algorithm).
-// It returns the options plus the strategy name the response reports.
-func optimizeOptions(req *OptimizeRequest, cfg TenantConfig, deg *BreakerConfig) ([]repro.Option, string) {
+// runSpec is the fully resolved execution shape of one request after
+// every clamp: strategy, parallelism and budgets with the tenant's caps
+// and (when degraded) the breaker's clamps already applied. It is
+// comparable, so the batch scheduler keys lanes on it — requests coalesce
+// only when the one shared run's options are exactly what each member
+// would have run solo with.
+type runSpec struct {
+	strategy    core.Strategy
+	parallelism int
+	timeMS      int64
+	callBudget  int // -1 = unbudgeted; 0 is meaningful (forbid all calls)
+}
+
+// effectiveSpec resolves a request against its tenant's caps and, when
+// non-nil, the degraded clamps: the effective budget is the tightest of
+// the request's ask, the tenant's cap and the degraded clamp, and
+// degraded serving forces the cheap LazyGreedy fallback strategy.
+func effectiveSpec(req *OptimizeRequest, cfg TenantConfig, deg *BreakerConfig) runSpec {
 	strat, _ := parseStrategy(req.Strategy) // validated at decode time
 	if deg != nil {
 		strat = core.LazyGreedyStrategy
 	}
-	name := strat.String()
-	opts := []repro.Option{
-		repro.WithStrategy(strat),
-		repro.WithParallelism(req.Parallelism),
+	rs := runSpec{
+		strategy:    strat,
+		parallelism: req.Parallelism,
+		timeMS:      req.TimeBudgetMS,
+		callBudget:  -1,
 	}
-	if req.Resume != nil {
-		opts = append(opts, repro.WithResume(req.Resume))
-		name = req.Resume.State.Algorithm // non-nil State: decode-validated
-	}
-	timeMS := req.TimeBudgetMS
 	clampTime := func(capMS int64) {
-		if capMS > 0 && (timeMS == 0 || timeMS > capMS) {
-			timeMS = capMS
+		if capMS > 0 && (rs.timeMS == 0 || rs.timeMS > capMS) {
+			rs.timeMS = capMS
 		}
 	}
 	clampTime(cfg.TimeBudgetMS)
 	if deg != nil {
 		clampTime(deg.DegradedTimeBudgetMS)
 	}
-	if timeMS > 0 {
-		opts = append(opts, repro.WithTimeBudget(time.Duration(timeMS)*time.Millisecond))
-	}
-	callBudget := -1
 	if req.OracleCallBudget != nil {
-		callBudget = *req.OracleCallBudget
+		rs.callBudget = *req.OracleCallBudget
 	}
 	clampCalls := func(cap int) {
-		if cap > 0 && (callBudget < 0 || callBudget > cap) {
-			callBudget = cap
+		if cap > 0 && (rs.callBudget < 0 || rs.callBudget > cap) {
+			rs.callBudget = cap
 		}
 	}
 	clampCalls(cfg.CallBudget)
 	if deg != nil {
 		clampCalls(deg.DegradedCallBudget)
 	}
-	if callBudget >= 0 {
-		opts = append(opts, repro.WithOracleCallBudget(callBudget))
+	return rs
+}
+
+// options maps the resolved spec onto Session options.
+func (rs runSpec) options() []repro.Option {
+	opts := []repro.Option{
+		repro.WithStrategy(rs.strategy),
+		repro.WithParallelism(rs.parallelism),
+	}
+	if rs.timeMS > 0 {
+		opts = append(opts, repro.WithTimeBudget(time.Duration(rs.timeMS)*time.Millisecond))
+	}
+	if rs.callBudget >= 0 {
+		opts = append(opts, repro.WithOracleCallBudget(rs.callBudget))
+	}
+	return opts
+}
+
+// optimizeOptions maps the request and its tenant's caps onto Session
+// options for the solo path (resume requests keep their checkpoint's
+// algorithm). It returns the options plus the strategy name the response
+// reports.
+func optimizeOptions(req *OptimizeRequest, cfg TenantConfig, deg *BreakerConfig) ([]repro.Option, string) {
+	rs := effectiveSpec(req, cfg, deg)
+	opts := rs.options()
+	name := rs.strategy.String()
+	if req.Resume != nil {
+		opts = append(opts, repro.WithResume(req.Resume))
+		name = req.Resume.State.Algorithm // non-nil State: decode-validated
 	}
 	return opts, name
 }
@@ -388,6 +429,43 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			"catalog "+key.String()+" is temporarily unavailable after repeated faults", retry)
 		return
 	}
+	var degCfg *BreakerConfig
+	if degraded {
+		degCfg = &s.cfg.Breaker
+	}
+	tenantCfg := s.adm.Config(tenantName)
+
+	// Continuous batching: an admitted, breaker-cleared request without a
+	// resume checkpoint enqueues into its lane and blocks for its
+	// attributed slice of the shared run (checkpoints bind to a single
+	// search space, so resume stays on the solo path). The outcome always
+	// arrives — the run path is panic-isolated — and carries the member's
+	// exact oracle-call share for the quota charge.
+	if s.batcher != nil && req.Resume == nil {
+		fp, _ := batchFingerprint(batch)
+		out := s.batcher.submit(
+			laneKey{pool: key, spec: effectiveSpec(req, tenantCfg, degCfg), degraded: degraded},
+			&batchMember{
+				ctx:      ctx,
+				batch:    batch,
+				fp:       fp,
+				tenant:   tenantName,
+				planText: req.PlanText,
+				outcome:  make(chan batchOutcome, 1),
+			})
+		spent = out.spent
+		switch {
+		case out.cancelled:
+			w.WriteHeader(499) // the client is gone; nginx's convention
+		case out.resp != nil:
+			out.resp.Tenant = tenantName
+			out.resp.QueueWaitNS = queueWait.Nanoseconds()
+			writeJSON(w, http.StatusOK, out.resp)
+		default:
+			writeJSON(w, out.status, out.body)
+		}
+		return
+	}
 
 	sess, poolRelease, err := s.pool.acquire(key)
 	if err != nil {
@@ -405,12 +483,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	var degCfg *BreakerConfig
-	if degraded {
-		degCfg = &s.cfg.Breaker
-	}
-	cfg := s.adm.Config(tenantName)
-	opts, stratName := optimizeOptions(req, cfg, degCfg)
+	opts, stratName := optimizeOptions(req, tenantCfg, degCfg)
 	res, err := sess.Optimize(ctx, batch, opts...)
 	if err != nil {
 		var fe *repro.FaultError

@@ -162,6 +162,18 @@ type OptimizeResponse struct {
 	// Degraded marks a run served under the catalog's circuit breaker:
 	// clamped budgets and the LazyGreedy fallback strategy.
 	Degraded bool `json:"degraded,omitempty"`
+	// Batched marks a response served by the continuous-batching
+	// scheduler: the run was shared with BatchSize requests and this
+	// response is the request's attributed slice of it. Telemetry is the
+	// request's conserving share of the run's counters (summing the shares
+	// across the batch reproduces the run exactly), while the costs
+	// describe the request's own plan.
+	Batched   bool `json:"batched,omitempty"`
+	BatchSize int  `json:"batch_size,omitempty"`
+	// SharedCreditMS is the compute+write cost of this request's
+	// materializations that the other batch members' shares covered — the
+	// subsidy it received from being batched.
+	SharedCreditMS float64 `json:"shared_credit_ms,omitempty"`
 }
 
 // PlanSummary condenses the consolidated plan: one row per

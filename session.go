@@ -187,6 +187,13 @@ type SessionStats struct {
 	BuildTime   time.Duration `json:"build_ns"`   // DAG construction
 	OptTime     time.Duration `json:"opt_ns"`     // strategy runs
 	ExtractTime time.Duration `json:"extract_ns"` // consolidated-plan extraction
+	// RecipeHits / RecipeMisses count per-query sub-DAG interner lookups
+	// during combined-DAG builds (memo.BuildCache): a hit replays a stored
+	// expansion recipe instead of re-enumerating the query's join subsets.
+	// They are session-level build accounting, not per-run telemetry, so
+	// they are excluded from the sum-over-responses reconciliation.
+	RecipeHits   int64 `json:"recipe_hits"`
+	RecipeMisses int64 `json:"recipe_misses"`
 }
 
 // Session is a long-lived handle for optimizing many batches against one
@@ -209,6 +216,12 @@ type Session struct {
 	model    cost.Model
 	defaults config
 	cache    *physical.SharedCache
+	// build is the per-query sub-DAG interner (memo.BuildCache): recipes
+	// for structurally identical queries are replayed instead of
+	// re-enumerated, so combined-DAG build cost amortizes across a stream
+	// of similar batches. Recipes are pure functions of (catalog, query)
+	// and never invalidate within a session.
+	build *memo.BuildCache
 
 	mu    sync.Mutex
 	stats SessionStats
@@ -226,6 +239,7 @@ func NewSession(cat *catalog.Catalog, model cost.Model, opts ...Option) (*Sessio
 		model:    model,
 		defaults: config{strategy: MarginalGreedy},
 		cache:    physical.NewSharedCache(),
+		build:    memo.NewBuildCache(),
 	}
 	for _, o := range opts {
 		o(&s.defaults)
@@ -280,14 +294,27 @@ func (r *RunResult) Memo() *memo.Memo { return r.opt.Memo }
 // the chosen sets and costs are bit-identical to the one-shot Optimize
 // facade (and to the seed-oracle goldens).
 func (s *Session) Optimize(ctx context.Context, batch *logical.Batch, opts ...Option) (*RunResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	return s.runBatch(ctx, batch, s.mergeConfig(opts))
+}
+
+// mergeConfig layers per-call options over the session defaults.
+func (s *Session) mergeConfig(opts []Option) config {
 	cfg := s.defaults
 	cfg.memoOpts = append([]memo.Option(nil), s.defaults.memoOpts...)
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return cfg
+}
+
+// runBatch is the shared body of Optimize and OptimizeShared: build the
+// combined DAG (through the sub-DAG interner), run the strategy, extract
+// the plan, publish cache learning, and account session stats.
+func (s *Session) runBatch(ctx context.Context, batch *logical.Batch, cfg config) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.memoOpts = append(cfg.memoOpts, memo.WithBuildCache(s.build))
 
 	buildStart := time.Now()
 	opt, err := volcano.NewOptimizer(s.cat, s.model, batch, cfg.memoOpts...)
@@ -377,6 +404,8 @@ func (s *Session) Optimize(ctx context.Context, batch *logical.Batch, opts ...Op
 // Stats returns the telemetry aggregated over the session's calls so far.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	st.RecipeHits, st.RecipeMisses = s.build.Stats()
+	return st
 }

@@ -12,6 +12,7 @@
 //	          [-breaker-off] [-breaker-failures 3] [-breaker-cooldown 10s]
 //	          [-degraded-time-budget 2s] [-degraded-call-budget 50000]
 //	          [-batch] [-batch-max 8] [-batch-delay 5ms] [-batch-queries 0]
+//	          [-warm-from snapshot.json | -warm-from http://peer:8080/]
 //
 // -batch enables cross-request continuous batching: admitted requests
 // with the same catalog and effective run options briefly wait for peers
@@ -47,6 +48,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -83,6 +85,8 @@ func main() {
 		batchMax     = flag.Int("batch-max", 8, "batching: flush a lane once this many requests wait in it")
 		batchDelay   = flag.Duration("batch-delay", 5*time.Millisecond, "batching: max time the first request of a lane waits for peers")
 		batchQueries = flag.Int("batch-queries", 0, "batching: flush a lane once its combined query count reaches this (0 = size/deadline flushing only)")
+
+		warmFrom = flag.String("warm-from", "", "cache snapshot to warm-start from: a file path, an http(s) URL, or a peer base URL ending in / (its /v1/cache/snapshot is fetched); the catalog it names starts with the donor's learned costs and memoized oracle values")
 
 		breakerOff      = flag.Bool("breaker-off", false, "disable the per-catalog circuit breaker")
 		breakerFailures = flag.Int("breaker-failures", 3, "consecutive faults that degrade a catalog, and again that open it; consecutive successes that close it")
@@ -138,6 +142,18 @@ func main() {
 	}
 
 	srv := server.New(cfg)
+	if *warmFrom != "" {
+		data, err := loadSnapshot(*warmFrom)
+		if err != nil {
+			log.Fatalf("mqoserver: -warm-from: %v", err)
+		}
+		res, err := srv.WarmFrom(data)
+		if err != nil {
+			log.Fatalf("mqoserver: -warm-from %s: %v", *warmFrom, err)
+		}
+		log.Printf("mqoserver: warm-started catalog %s with %d cache entries from %s",
+			res.Catalog, res.Entries, *warmFrom)
+	}
 	httpSrv := &http.Server{
 		Addr:              *listen,
 		Handler:           srv.Handler(),
@@ -173,6 +189,30 @@ func main() {
 	}
 	<-done
 	log.Printf("mqoserver: drained, bye")
+}
+
+// loadSnapshot fetches the -warm-from source: an http(s) URL (a peer's
+// /v1/cache/snapshot when the URL ends in /) or a local file.
+func loadSnapshot(src string) ([]byte, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		if strings.HasSuffix(src, "/") {
+			src += "v1/cache/snapshot"
+		}
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, errors.New(src + ": " + resp.Status + ": " + strings.TrimSpace(string(data)))
+		}
+		return data, nil
+	}
+	return os.ReadFile(src)
 }
 
 // loadTenants reads the tenant table, strictly: unknown fields and

@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// BenchmarkRouter measures routed end-to-end optimize throughput over 3
+// live replicas, and reports bc_calls — oracle calls per routed request —
+// which is deterministic (the same batch on the same session spends the
+// same memoized-distinct call count every run) and so doubles as a
+// regression gate in BENCH_baseline.json.
+func BenchmarkRouter(b *testing.B) {
+	c := newTestCluster(b, 3, server.Config{})
+	body := specBody(b, nil)
+	hdr := map[string]string{"X-Tenant": "bench"}
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, data := post(b, c.front.URL, body, hdr)
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("request %d = %d: %s", i, resp.StatusCode, data)
+		}
+		total += decodeOptimize(b, data).Telemetry.OracleCalls
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/float64(b.N), "bc_calls")
+}

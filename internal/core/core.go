@@ -100,6 +100,16 @@ type Config struct {
 	// Parallelism, when > 0, sets the searcher's worker-pool bound before
 	// the run (see physical.Searcher.Parallelism).
 	Parallelism int
+	// WarmOracle lets the run consume memoized mb(S) values published to
+	// the attached SharedCache by earlier runs, skipping those oracle
+	// calls entirely (they surface as Telemetry.SharedOracleHits). Runs
+	// always *publish* their memoized values; consuming is opt-in because
+	// it changes the run's call accounting — budgets, quota charges and
+	// fault-injection surfaces — which cold-replay determinism (and the
+	// serving tier's bit-identical-replay contract) otherwise relies on.
+	// The serving tier enables it only for sessions warm-started from an
+	// imported cache snapshot.
+	WarmOracle bool
 
 	maxCalls    int
 	hasMaxCalls bool
@@ -130,8 +140,14 @@ type Telemetry struct {
 	SharedHits   int     `json:"shared_hits"`    // SharedCache (L2) hits during the run
 	ComputedKeys int     `json:"computed_keys"`  // fresh (group, order, mask) computations
 	CacheHitRate float64 `json:"cache_hit_rate"` // (CacheHits+SharedHits) / (hits + ComputedKeys)
-	Rounds       int     `json:"rounds"`         // completed greedy rounds (selections for lazy)
-	Pruned       int     `json:"pruned"`         // Section 5.1 permanent prunes
+	// SharedOracleHits counts distinct mb(S) evaluations served from the
+	// session SharedCache's cross-run oracle memo instead of the bestCost
+	// oracle: the warm-start savings of this run. OracleCalls counts only
+	// the evaluations that actually ran, so OracleCalls+SharedOracleHits is
+	// what the same run would have cost against a cold cache.
+	SharedOracleHits int `json:"shared_oracle_hits"`
+	Rounds           int `json:"rounds"` // completed greedy rounds (selections for lazy)
+	Pruned           int `json:"pruned"` // Section 5.1 permanent prunes
 	// Stale counts stale-bound re-evaluations the lazy scan performed;
 	// Reused counts marginals carried exactly across a selection by the
 	// dirty-candidate tracking (work the scan provably avoided). Both are
@@ -268,6 +284,28 @@ func (f *BenefitFunc) ToNodes(s submod.Set) []memo.GroupID {
 	return out
 }
 
+// benefitL2 adapts a physical.SharedCache to the submod.MemoL2 contract:
+// memoized mb(S) values live next to the (group, order, mask) cost entries
+// under the searcher's fingerprint namespace, so they are invalidated,
+// exported and imported together with the cost cache — a snapshot-warmed
+// replica skips whole oracle calls, not just per-key cost lookups. Values
+// always publish; reads are gated on warm so a run that has not opted in
+// (Config.WarmOracle) keeps cold call accounting even over a populated
+// cache.
+type benefitL2 struct {
+	c    *physical.SharedCache
+	ns   uint64
+	warm bool
+}
+
+func (b benefitL2) Get(k uint64) (float64, bool) {
+	if !b.warm {
+		return 0, false
+	}
+	return b.c.GetBenefit(b.ns, k)
+}
+func (b benefitL2) Put(k uint64, v float64) { b.c.PutBenefit(b.ns, k, v) }
+
 // Run executes one strategy against a prepared optimizer and reports the
 // chosen materializations, costs and optimization time. It is the
 // budget-free shim over RunWith kept for the one-shot API.
@@ -344,6 +382,15 @@ func run(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Config
 	bc0, hit0, sh0, key0 := opt.Searcher.BCCalls, opt.Searcher.CacheHits, opt.Searcher.SharedHits, opt.Searcher.ComputedKey
 	f := NewBenefitFuncCtx(ctx, opt)
 	oracle := submod.NewOracle(f)
+	// With a session SharedCache attached, memoized oracle values from
+	// earlier runs over the same search space (namespaced by the searcher
+	// fingerprint, so a different batch, catalog or flag set can never
+	// alias) are published for later runs — and, for a warm-started run
+	// (cfg.WarmOracle), served without re-running bestCost, so it spends
+	// oracle calls only on sets no prior run evaluated.
+	if sc := opt.Searcher.Shared(); sc != nil {
+		oracle.L2 = benefitL2{c: sc, ns: opt.Searcher.Fingerprint(), warm: cfg.WarmOracle}
+	}
 	oracle.SetControl(&submod.Control{
 		Ctx:         ctx,
 		MaxCalls:    cfg.maxCalls,
@@ -406,20 +453,21 @@ func run(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Config
 	end := nowFunc()
 	res.OptTime = end.Sub(start)
 	res.Telemetry = Telemetry{
-		OracleCalls:  oracle.Calls,
-		BCCalls:      opt.Searcher.BCCalls - bc0,
-		CacheHits:    opt.Searcher.CacheHits - hit0,
-		SharedHits:   opt.Searcher.SharedHits - sh0,
-		ComputedKeys: opt.Searcher.ComputedKey - key0,
-		Rounds:       r.Iterations,
-		Pruned:       r.Pruned,
-		Stale:        r.Stale,
-		Reused:       r.Reused,
-		Stopped:      r.Stopped,
-		SetupTime:    setupEnd.Sub(start),
-		SearchTime:   searchEnd.Sub(setupEnd),
-		FinalizeTime: end.Sub(searchEnd),
-		TotalTime:    end.Sub(start),
+		OracleCalls:      oracle.Calls,
+		BCCalls:          opt.Searcher.BCCalls - bc0,
+		CacheHits:        opt.Searcher.CacheHits - hit0,
+		SharedHits:       opt.Searcher.SharedHits - sh0,
+		ComputedKeys:     opt.Searcher.ComputedKey - key0,
+		SharedOracleHits: oracle.L2Hits,
+		Rounds:           r.Iterations,
+		Pruned:           r.Pruned,
+		Stale:            r.Stale,
+		Reused:           r.Reused,
+		Stopped:          r.Stopped,
+		SetupTime:        setupEnd.Sub(start),
+		SearchTime:       searchEnd.Sub(setupEnd),
+		FinalizeTime:     end.Sub(searchEnd),
+		TotalTime:        end.Sub(start),
 	}
 	res.Telemetry.fillHitRate()
 	return res, nil

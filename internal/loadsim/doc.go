@@ -1,0 +1,27 @@
+// Package loadsim is a discrete-event load generator for the serving
+// tier: it turns a seeded multi-tenant traffic description into a
+// replayable trace and drives that trace against a router or a single
+// server over the public HTTP API.
+//
+// # Traces
+//
+// GenTrace expands a TraceConfig into arrivals. Open-loop tenants get a
+// non-homogeneous Poisson process (rate modulated by a diurnal sinusoid,
+// sampled by thinning) whose every arrival time and request body is a
+// pure function of the config — same seed, byte-identical trace, which is
+// what makes chaos runs reproducible and lets CI pin Trace.Summary
+// output. Closed-loop tenants are carried as worker specs: Concurrency
+// workers each send, wait, think, repeat, so their request count depends
+// on observed latency (by design — that is what a closed loop measures).
+//
+// # Replay
+//
+// Run plays a trace at a configurable TimeScale (0 = as fast as the
+// in-flight cap allows, preserving arrival order but not pacing) and
+// reports: goodput and rejection/failure counts, latency percentiles
+// (p50/p99/p999), summed oracle calls, and — per tenant-catalog key —
+// which replica served each request, read from the router's
+// X-MQO-Replica header. Hooks fire at chosen virtual times, which is how
+// tests kill or drain a replica mid-trace at a reproducible point and
+// then assert zero failed requests.
+package loadsim

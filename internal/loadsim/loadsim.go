@@ -1,0 +1,213 @@
+package loadsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TenantLoad describes one tenant's traffic in a trace. A tenant is
+// open-loop when RatePerSec > 0 (arrivals are a seeded Poisson process,
+// independent of response times — the regime that exposes queueing) and
+// closed-loop when Concurrency > 0 (each of Concurrency workers issues a
+// request, waits for the response, thinks, repeats — the regime that
+// exposes latency). A tenant may be one or the other, not both.
+type TenantLoad struct {
+	// Tenant names the traffic's X-Tenant attribution.
+	Tenant string
+	// RatePerSec is the open-loop mean arrival rate.
+	RatePerSec float64
+	// DiurnalAmp in [0, 1) modulates the open-loop rate sinusoidally:
+	// rate(t) = RatePerSec · (1 + DiurnalAmp·sin(2πt/period)), the
+	// classic day/night swing scaled down to the trace duration.
+	DiurnalAmp float64
+	// Concurrency is the closed-loop worker count.
+	Concurrency int
+	// ThinkMS is the closed-loop pause between a response and the
+	// worker's next request, in virtual milliseconds.
+	ThinkMS int64
+	// Spec is the request template's workload spec.
+	Spec workload.Spec
+	// SF and ExtendedOps select the catalog pool key (SF 0 → 1).
+	SF          float64
+	ExtendedOps bool
+	// Strategy optionally overrides the server's default algorithm.
+	Strategy string
+	// CallBudget > 0 caps each request's oracle calls.
+	CallBudget int
+	// VarySeeds gives every request a distinct spec seed (derived
+	// deterministically from the trace seed), so requests stop being
+	// replays of one batch and the session cache must generalize.
+	VarySeeds bool
+}
+
+// key is the tenant-catalog routing key this load pins, in the router's
+// spelling.
+func (l TenantLoad) key() string {
+	sf := l.SF
+	if sf <= 0 {
+		sf = 1
+	}
+	cat := fmt.Sprintf("sf=%g", sf)
+	if l.ExtendedOps {
+		cat += "+hash"
+	}
+	return l.Tenant + "|" + cat
+}
+
+// TraceConfig parameterizes trace generation.
+type TraceConfig struct {
+	// Seed fixes every random choice; equal configs generate
+	// byte-identical traces.
+	Seed int64
+	// Duration is the trace's virtual length.
+	Duration time.Duration
+	// DiurnalPeriod is the modulation period (default: Duration, one
+	// full day compressed into the trace).
+	DiurnalPeriod time.Duration
+	Tenants       []TenantLoad
+}
+
+// Event is one open-loop arrival: at virtual time At, tenant Tenant sends
+// Body. Key is the tenant-catalog routing key, for affinity accounting.
+type Event struct {
+	At     time.Duration
+	Tenant string
+	Key    string
+	Body   []byte
+}
+
+// ClosedLoop is one tenant's closed-loop spec, carried through to Run.
+type ClosedLoop struct {
+	Load TenantLoad
+	Key  string
+}
+
+// Trace is a generated load trace: open-loop events sorted by arrival
+// time plus closed-loop specs. It is replayable — Run does not mutate it.
+type Trace struct {
+	Cfg    TraceConfig
+	Events []Event
+	Closed []ClosedLoop
+}
+
+// buildBody renders one request body. Map marshaling sorts keys, so the
+// bytes are deterministic.
+func buildBody(l TenantLoad, seed int64) ([]byte, error) {
+	spec := l.Spec
+	spec.Seed = seed
+	m := map[string]any{"tenant": l.Tenant, "spec": spec}
+	if l.SF > 0 {
+		m["sf"] = l.SF
+	}
+	if l.ExtendedOps {
+		m["extended_ops"] = true
+	}
+	if l.Strategy != "" {
+		m["strategy"] = l.Strategy
+	}
+	if l.CallBudget > 0 {
+		m["oracle_call_budget"] = l.CallBudget
+	}
+	return json.Marshal(m)
+}
+
+// GenTrace generates a trace from its config, deterministically: every
+// arrival time and every request body is a pure function of cfg. Each
+// tenant draws from its own rand.Source (derived from Seed and the
+// tenant's position), so adding a tenant never perturbs the others'
+// arrivals.
+func GenTrace(cfg TraceConfig) (*Trace, error) {
+	if cfg.Duration <= 0 {
+		return nil, errors.New("loadsim: trace duration must be positive")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("loadsim: trace needs at least one tenant")
+	}
+	period := cfg.DiurnalPeriod
+	if period <= 0 {
+		period = cfg.Duration
+	}
+	tr := &Trace{Cfg: cfg}
+	for i, l := range cfg.Tenants {
+		if l.Tenant == "" {
+			return nil, fmt.Errorf("loadsim: tenant %d has no name", i)
+		}
+		if (l.RatePerSec > 0) == (l.Concurrency > 0) {
+			return nil, fmt.Errorf("loadsim: tenant %s must be exactly one of open-loop (rate) and closed-loop (concurrency)", l.Tenant)
+		}
+		if l.DiurnalAmp < 0 || l.DiurnalAmp >= 1 {
+			return nil, fmt.Errorf("loadsim: tenant %s: diurnal amplitude must be in [0, 1), got %v", l.Tenant, l.DiurnalAmp)
+		}
+		if err := l.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("loadsim: tenant %s: %v", l.Tenant, err)
+		}
+		if l.Concurrency > 0 {
+			tr.Closed = append(tr.Closed, ClosedLoop{Load: l, Key: l.key()})
+			continue
+		}
+		// Non-homogeneous Poisson by thinning: candidate arrivals at the
+		// peak rate, each kept with probability rate(t)/rateMax.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b9))
+		rateMax := l.RatePerSec * (1 + l.DiurnalAmp)
+		seq := int64(0)
+		for t := time.Duration(0); ; {
+			gap := time.Duration(rng.ExpFloat64() / rateMax * float64(time.Second))
+			t += gap
+			if t >= cfg.Duration {
+				break
+			}
+			phase := 2 * math.Pi * float64(t) / float64(period)
+			rate := l.RatePerSec * (1 + l.DiurnalAmp*math.Sin(phase))
+			if rng.Float64()*rateMax > rate {
+				continue // thinned out
+			}
+			seed := l.Spec.Seed
+			if l.VarySeeds {
+				seed = cfg.Seed + int64(i)*1_000_003 + seq
+			}
+			body, err := buildBody(l, seed)
+			if err != nil {
+				return nil, err
+			}
+			tr.Events = append(tr.Events, Event{At: t, Tenant: l.Tenant, Key: l.key(), Body: body})
+			seq++
+		}
+	}
+	sort.SliceStable(tr.Events, func(a, b int) bool {
+		ea, eb := tr.Events[a], tr.Events[b]
+		if ea.At != eb.At {
+			return ea.At < eb.At
+		}
+		return ea.Tenant < eb.Tenant
+	})
+	return tr, nil
+}
+
+// Summary renders the trace's deterministic shape — per-tenant arrival
+// counts and the overall envelope. Equal seeds produce byte-identical
+// summaries; the CI determinism check pins exactly that.
+func (tr *Trace) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace seed=%d duration=%v events=%d\n", tr.Cfg.Seed, tr.Cfg.Duration, len(tr.Events))
+	counts := make(map[string]int)
+	for _, e := range tr.Events {
+		counts[e.Tenant]++
+	}
+	for _, l := range tr.Cfg.Tenants {
+		if l.Concurrency > 0 {
+			fmt.Fprintf(&b, "  %s: closed-loop ×%d think=%dms key=%s\n", l.Tenant, l.Concurrency, l.ThinkMS, l.key())
+			continue
+		}
+		fmt.Fprintf(&b, "  %s: %d arrivals (rate=%g/s diurnal=%g) key=%s\n",
+			l.Tenant, counts[l.Tenant], l.RatePerSec, l.DiurnalAmp, l.key())
+	}
+	return b.String()
+}

@@ -119,6 +119,35 @@ func (c *SharedCache) get(ns uint64, k cacheKey) (float64, bool) {
 	return e.v, true
 }
 
+// benefitGroup is the reserved pseudo-group benefit-oracle entries are
+// stored under: real groups are non-negative, so mb(S) values — keyed by
+// the submod set key in the mask field — share the shard maps (and the
+// snapshot machinery) with the (group, order, mask) cost entries without
+// ever colliding with them.
+const benefitGroup = memo.GroupID(-1)
+
+// GetBenefit looks up a memoized oracle value mb(S) under a namespace;
+// key is the submod set key of S. Safe for concurrent use.
+func (c *SharedCache) GetBenefit(ns, key uint64) (float64, bool) {
+	return c.get(ns, cacheKey{g: benefitGroup, mask: key})
+}
+
+// PutBenefit publishes one memoized oracle value under a namespace. Values
+// are pure functions of (namespace, key), so concurrent writers can only
+// ever store the same value. Safe for concurrent use; a single direct
+// shard write, cheap enough to call per fresh oracle evaluation.
+func (c *SharedCache) PutBenefit(ns, key uint64, v float64) {
+	k := cacheKey{g: benefitGroup, mask: key}
+	ep := c.epoch.Load()
+	sh := c.shard(ns, k)
+	sh.mu.Lock()
+	if len(sh.m) >= sharedShardCap {
+		sh.m = make(map[sharedKey]sharedEntry)
+	}
+	sh.m[sharedKey{ns: ns, k: k}] = sharedEntry{v: v, epoch: ep}
+	sh.mu.Unlock()
+}
+
 // sharedKV is one entry of a bulk merge.
 type sharedKV struct {
 	k cacheKey

@@ -1,0 +1,266 @@
+package physical
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/memo"
+)
+
+// seedCache fills a cache with a deterministic mix of cost and benefit
+// entries across two namespaces.
+func seedCache() *SharedCache {
+	c := NewSharedCache()
+	var kvs []sharedKV
+	for g := 0; g < 5; g++ {
+		for ord := 0; ord < 2; ord++ {
+			for m := uint64(0); m < 8; m++ {
+				kvs = append(kvs, sharedKV{
+					k: cacheKey{g: memo.GroupID(g), ord: ordID(ord), compute: m%2 == 0, mask: m * 0x9e3779b97f4a7c15},
+					v: float64(g*100+ord*10) + float64(m)/7,
+				})
+			}
+		}
+	}
+	c.merge(0x1111222233334444, kvs)
+	c.merge(0xaaaabbbbccccdddd, kvs[:20])
+	for i := 0; i < 12; i++ {
+		c.PutBenefit(0x1111222233334444, uint64(i)*0x2545f4914f6cdd1d, math.Sqrt(float64(i+1)))
+	}
+	return c
+}
+
+func TestSnapshotRoundTripByteStable(t *testing.T) {
+	c := seedCache()
+	snap := c.Export("sf=1")
+	enc1, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode → re-encode is byte-identical (canonical form is a fixpoint).
+	dec, err := DecodeCacheSnapshot(enc1)
+	if err != nil {
+		t.Fatalf("decode of own export: %v", err)
+	}
+	enc2, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("decode→encode of an export is not byte-identical")
+	}
+
+	// Import into a fresh cache → export is byte-identical too, and the
+	// entry count round-trips.
+	c2 := NewSharedCache()
+	n, err := c2.Import(dec, "sf=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := c.Len(); n != want || c2.Len() != want {
+		t.Fatalf("imported %d entries into a cache of %d, want %d", n, c2.Len(), want)
+	}
+	enc3, err := c2.Export("sf=1").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc3) {
+		t.Fatal("export of an imported cache is not byte-identical to the original export")
+	}
+
+	// Every individual value survives: spot-check the benefit entries.
+	for i := 0; i < 12; i++ {
+		k := uint64(i) * 0x2545f4914f6cdd1d
+		v, ok := c2.GetBenefit(0x1111222233334444, k)
+		if !ok || v != math.Sqrt(float64(i+1)) {
+			t.Fatalf("benefit %d = (%v, %v) after round trip", i, v, ok)
+		}
+	}
+}
+
+func TestSnapshotScopeAndVersionMismatch(t *testing.T) {
+	snap := seedCache().Export("sf=1")
+
+	c := NewSharedCache()
+	if _, err := c.Import(snap, "sf=2"); !isSnapErr(err, "scope") {
+		t.Fatalf("scope mismatch import = %v, want *SnapshotError{scope}", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected import still merged entries")
+	}
+
+	bad := *snap
+	bad.Version = 2
+	if _, err := c.Import(&bad, "sf=1"); !isSnapErr(err, "version") {
+		t.Fatalf("version mismatch import = %v, want *SnapshotError{version}", err)
+	}
+	if _, err := c.Import(nil, "sf=1"); !isSnapErr(err, "malformed") {
+		t.Fatalf("nil snapshot import = %v, want *SnapshotError{malformed}", err)
+	}
+}
+
+func isSnapErr(err error, reason string) bool {
+	var se *SnapshotError
+	return errors.As(err, &se) && se.Reason == reason
+}
+
+func TestSnapshotDecodeRejectsTampering(t *testing.T) {
+	enc, err := seedCache().Export("sf=1").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(enc)
+	cases := []struct {
+		name, data, reason string
+	}{
+		{"not json", "{", "malformed"},
+		{"unknown field", strings.Replace(s, `"version"`, `"bogus": 1, "version"`, 1), "malformed"},
+		{"wrong version", strings.Replace(s, `"version": 1`, `"version": 9`, 1), "version"},
+		{"bad checksum", flipLastHexDigit(t, s, `"checksum"`), "checksum"},
+		{"bad hex width", strings.Replace(s, `"ns": "1111222233334444"`, `"ns": "111122223333444"`, 1), "malformed"},
+		{"uppercase hex", strings.Replace(s, `"ns": "1111222233334444"`, `"ns": "111122223333444A"`, 1), "malformed"},
+		{"value tamper", flipLastHexDigit(t, s, `"v"`), "checksum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeCacheSnapshot([]byte(tc.data))
+			if !isSnapErr(err, tc.reason) {
+				t.Fatalf("decode = %v, want *SnapshotError{%s}", err, tc.reason)
+			}
+		})
+	}
+}
+
+// flipLastHexDigit flips one hex digit of the first string value following
+// the given JSON key, invalidating its content without breaking JSON.
+func flipLastHexDigit(t *testing.T, s, key string) string {
+	t.Helper()
+	i := strings.Index(s, key)
+	if i < 0 {
+		t.Fatalf("key %s not found", key)
+	}
+	q := strings.Index(s[i+len(key):], `: "`)
+	start := i + len(key) + q + 3
+	end := strings.Index(s[start:], `"`) + start
+	c := s[end-1]
+	repl := byte('0')
+	if c == '0' {
+		repl = '1'
+	}
+	return s[:end-1] + string(repl) + s[end:]
+}
+
+func TestSnapshotOutOfOrderRejected(t *testing.T) {
+	c := seedCache()
+	snap := c.Export("sf=1")
+	if len(snap.Namespaces) < 2 {
+		t.Fatal("seed cache has fewer than 2 namespaces")
+	}
+	snap.Namespaces[0], snap.Namespaces[1] = snap.Namespaces[1], snap.Namespaces[0]
+	snap.Checksum = snap.checksum() // valid checksum, wrong order
+	enc, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCacheSnapshot(enc); !isSnapErr(err, "malformed") {
+		t.Fatalf("out-of-order namespaces decode = %v, want *SnapshotError{malformed}", err)
+	}
+
+	snap = c.Export("sf=1")
+	es := snap.Namespaces[0].Entries
+	if len(es) < 2 {
+		t.Fatal("first namespace has fewer than 2 entries")
+	}
+	es[0], es[1] = es[1], es[0]
+	snap.Checksum = snap.checksum()
+	enc, err = snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCacheSnapshot(enc); !isSnapErr(err, "malformed") {
+		t.Fatalf("out-of-order entries decode = %v, want *SnapshotError{malformed}", err)
+	}
+}
+
+func TestSnapshotEmptyCache(t *testing.T) {
+	snap := NewSharedCache().Export("empty")
+	enc, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeCacheSnapshot(enc)
+	if err != nil {
+		t.Fatalf("empty snapshot does not round-trip: %v", err)
+	}
+	if n, err := NewSharedCache().Import(dec, "empty"); n != 0 || err != nil {
+		t.Fatalf("empty import = (%d, %v)", n, err)
+	}
+}
+
+// FuzzCacheSnapshot: any input either fails to decode with a typed
+// *SnapshotError, or decodes to a snapshot whose re-encoding is a
+// canonical fixpoint (encode → decode → encode byte-identical) and whose
+// import into a fresh cache succeeds with a matching entry count.
+func FuzzCacheSnapshot(f *testing.F) {
+	// A small valid snapshot seeds the mutator (the full seedCache export
+	// is covered by the unit tests; a large seed only slows the fuzzer).
+	tiny := NewSharedCache()
+	tiny.merge(0x1111222233334444, []sharedKV{
+		{k: cacheKey{g: 1, ord: 0, mask: 0x2a}, v: 1.5},
+		{k: cacheKey{g: 1, ord: 1, compute: true, mask: 0x2b}, v: -2.25},
+	})
+	tiny.PutBenefit(0x1111222233334444, 7, 3.5)
+	enc, err := tiny.Export("sf=1").Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	small, _ := NewSharedCache().Export("s").Encode()
+	f.Add(small)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"scope":"x","namespaces":[],"checksum":"0000000000000000"}`))
+	f.Add([]byte(strings.Replace(string(enc), `"compute": true`, `"compute": false`, 1)))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeCacheSnapshot(data)
+		if err != nil {
+			var se *SnapshotError
+			if !errors.As(err, &se) {
+				t.Fatalf("decode error is not a *SnapshotError: %v", err)
+			}
+			return
+		}
+		enc1, err := snap.Encode()
+		if err != nil {
+			t.Fatalf("valid snapshot fails to encode: %v", err)
+		}
+		snap2, err := DecodeCacheSnapshot(enc1)
+		if err != nil {
+			t.Fatalf("re-encoding of a valid snapshot fails to decode: %v", err)
+		}
+		enc2, err := snap2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatal("encode → decode → encode is not a fixpoint")
+		}
+		c := NewSharedCache()
+		n, err := c.Import(snap, snap.Scope)
+		if err != nil {
+			t.Fatalf("valid snapshot fails to import: %v", err)
+		}
+		want := 0
+		for _, ns := range snap.Namespaces {
+			want += len(ns.Entries)
+		}
+		if n != want {
+			t.Fatalf("import reported %d entries, snapshot carries %d", n, want)
+		}
+	})
+}

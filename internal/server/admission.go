@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -118,6 +119,9 @@ type waiter struct {
 type tenant struct {
 	name string
 	cfg  TenantConfig
+	// retrySeq numbers this tenant's rejections, advancing its
+	// deterministic Retry-After jitter sequence (see RetryAfter).
+	retrySeq atomic.Uint64
 
 	mu         sync.Mutex
 	active     int
@@ -144,6 +148,12 @@ type Admission struct {
 	// newTimer is the queue-wait clock hook; tests swap it for a manual
 	// trigger so timeout/handoff races are driven deterministically.
 	newTimer func(time.Duration) (<-chan time.Time, func() bool)
+	// rand64 is the Retry-After jitter RNG hook (splitmix64 by default);
+	// tests swap it to pin or remove the jitter.
+	rand64 func(uint64) uint64
+	// retrySeq numbers rejections of tenants with no allocated state, so
+	// their jitter sequence advances without growing the tenant map.
+	retrySeq atomic.Uint64
 }
 
 // NewAdmission builds a controller. def is the config for tenants not in
@@ -159,6 +169,7 @@ func NewAdmission(def TenantConfig, cfgs map[string]TenantConfig, strict bool) *
 			t := time.NewTimer(d)
 			return t.C, t.Stop
 		},
+		rand64: splitmix64,
 	}
 	for name, c := range cfgs {
 		a.tenants[name] = &tenant{name: name, cfg: c.normalize()}
@@ -345,16 +356,53 @@ func (a *Admission) Stats() map[string]TenantStats {
 
 // RetryAfter suggests how long a rejected request should back off: the
 // tenant's queue-wait deadline for congestion, a minute for quota
-// exhaustion.
+// exhaustion — jittered deterministically into [base/2, base] per tenant.
+// The jitter spreads one tenant's herd of simultaneous rejections over the
+// window instead of re-admitting it as a thundering spike, and it is a
+// pure function of (tenant, rejection ordinal): the k-th rejection of a
+// tenant always backs off by the same amount, so tests — and the router's
+// retry budget accounting — can predict the exact sequence.
 func (a *Admission) RetryAfter(name string, reason error) time.Duration {
 	cfg := a.defCfg
+	var seq uint64
 	a.mu.Lock()
 	if t, ok := a.tenants[name]; ok {
 		cfg = t.cfg
+		seq = t.retrySeq.Add(1)
+	} else {
+		seq = a.retrySeq.Add(1)
 	}
 	a.mu.Unlock()
+	base := cfg.queueWait()
 	if errors.Is(reason, ErrQuotaExhausted) {
-		return time.Minute
+		base = time.Minute
 	}
-	return cfg.queueWait()
+	return jitterBackoff(a.rand64, name, seq, base)
+}
+
+// jitterBackoff maps (tenant, ordinal) onto [base/2, base] through the
+// RNG: rand64 over an FNV-1a tenant seed mixed with the ordinal. rand64 is
+// a hook (splitmix64 by default) so tests can pin the spread.
+func jitterBackoff(rand64 func(uint64) uint64, name string, seq uint64, base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	seed := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		seed ^= uint64(name[i])
+		seed *= 1099511628211
+	}
+	r := rand64(seed + seq*0x9e3779b97f4a7c15)
+	off := time.Duration(r % (uint64(base)/2 + 1))
+	return base - off
+}
+
+// splitmix64 is the default jitter RNG: a tiny, stateless, well-mixed
+// permutation of uint64, so equal inputs give equal jitter on every
+// replica.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

@@ -284,15 +284,49 @@ func TestAdmissionTenantsIsolated(t *testing.T) {
 	relB(0)
 }
 
-// TestAdmissionRetryAfter: congestion backs off by the tenant's queue
-// wait, quota exhaustion by a minute.
+// TestAdmissionRetryAfter: congestion backs off from the tenant's queue
+// wait, quota exhaustion from a minute — each jittered deterministically
+// into [base/2, base] per (tenant, rejection ordinal).
 func TestAdmissionRetryAfter(t *testing.T) {
+	inBounds := func(d, base time.Duration) bool { return base/2 <= d && d <= base }
 	a := NewAdmission(TenantConfig{QueueWaitMS: 2500}, nil, false)
-	if d := a.RetryAfter("t", ErrQueueFull); d != 2500*time.Millisecond {
-		t.Errorf("RetryAfter(queue full) = %v, want 2.5s", d)
+	if d := a.RetryAfter("t", ErrQueueFull); !inBounds(d, 2500*time.Millisecond) {
+		t.Errorf("RetryAfter(queue full) = %v, want within [1.25s, 2.5s]", d)
 	}
-	if d := a.RetryAfter("t", ErrQuotaExhausted); d != time.Minute {
-		t.Errorf("RetryAfter(quota) = %v, want 1m", d)
+	if d := a.RetryAfter("t", ErrQuotaExhausted); !inBounds(d, time.Minute) {
+		t.Errorf("RetryAfter(quota) = %v, want within [30s, 1m]", d)
+	}
+
+	// The sequence is a pure function of (tenant, ordinal): a second
+	// controller replays it exactly, and distinct tenants de-correlate.
+	b := NewAdmission(TenantConfig{QueueWaitMS: 2500}, nil, false)
+	var seqA, seqB []time.Duration
+	for i := 0; i < 8; i++ {
+		seqA = append(seqA, a.RetryAfter("t", ErrQueueFull))
+		seqB = append(seqB, b.RetryAfter("t", ErrQueueFull))
+	}
+	// a is two rejections ahead of b from the bounds checks above.
+	for i := 0; i+2 < len(seqA); i++ {
+		if seqA[i] != seqB[i+2] {
+			t.Fatalf("jitter is not a pure function of (tenant, ordinal): %v vs %v", seqA[i], seqB[i+2])
+		}
+	}
+	spread := map[time.Duration]bool{}
+	for _, d := range seqB {
+		spread[d] = true
+	}
+	if len(spread) < 4 {
+		t.Errorf("8 rejections landed on only %d distinct backoffs: %v", len(spread), seqB)
+	}
+
+	// Pinning the RNG hook pins the jitter: rand64 ≡ 0 means no offset.
+	c := NewAdmission(TenantConfig{QueueWaitMS: 2500}, nil, false)
+	c.rand64 = func(uint64) uint64 { return 0 }
+	if d := c.RetryAfter("t", ErrQueueFull); d != 2500*time.Millisecond {
+		t.Errorf("RetryAfter with zero RNG = %v, want the full base 2.5s", d)
+	}
+	if d := c.RetryAfter("t", ErrQuotaExhausted); d != time.Minute {
+		t.Errorf("RetryAfter(quota) with zero RNG = %v, want 1m", d)
 	}
 }
 

@@ -110,6 +110,21 @@ func (p *sessionPool) acquire(key poolKey) (*repro.Session, func(), error) {
 	return e.sess, func() { p.release(e) }, nil
 }
 
+// peek returns the pooled session for key pinned against retirement —
+// without creating one — plus the release the caller MUST invoke exactly
+// once. It deliberately does not refresh the LRU stamp: a snapshot scrape
+// is not serving traffic and must not keep a cold catalog resident.
+func (p *sessionPool) peek(key poolKey) (*repro.Session, func(), bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[key]
+	if !ok {
+		return nil, nil, false
+	}
+	e.refs++
+	return e.sess, func() { p.release(e) }, true
+}
+
 // release unpins one acquire; the last release of a doomed entry performs
 // the deferred retirement.
 func (p *sessionPool) release(e *poolEntry) {
@@ -188,6 +203,8 @@ func addSessionStats(dst *repro.SessionStats, src repro.SessionStats) {
 	dst.BCCalls += src.BCCalls
 	dst.CacheHits += src.CacheHits
 	dst.SharedHits += src.SharedHits
+	dst.ComputedKeys += src.ComputedKeys
+	dst.SharedOracleHits += src.SharedOracleHits
 	dst.Rounds += src.Rounds
 	dst.Invalidations += src.Invalidations
 	dst.Faults += src.Faults
@@ -211,6 +228,13 @@ type PoolEntryStats struct {
 	ExtendedOps bool               `json:"extended_ops"`
 	SF          float64            `json:"sf"`
 	Pinned      int                `json:"pinned"`
+	// SharedCacheEntries and CacheHitRate describe the session's warmth:
+	// how many cross-call cache entries it holds, and what fraction of
+	// the cost keys its runs needed were served from a cache instead of
+	// recomputed. The router's load generator scrapes these to show how
+	// warm each replica is per catalog key.
+	SharedCacheEntries int     `json:"shared_cache_entries"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
 }
 
 // stats snapshots every pooled session.
@@ -220,14 +244,20 @@ func (p *sessionPool) stats() []PoolEntryStats {
 	now := p.now()
 	out := make([]PoolEntryStats, 0, len(p.entries))
 	for k, e := range p.entries {
-		out = append(out, PoolEntryStats{
-			Catalog:     k.String(),
-			IdleNS:      now.Sub(e.lastUse).Nanoseconds(),
-			Session:     e.sess.Stats(),
-			ExtendedOps: k.extended,
-			SF:          k.sf,
-			Pinned:      e.refs,
-		})
+		ss := e.sess.Stats()
+		pe := PoolEntryStats{
+			Catalog:            k.String(),
+			IdleNS:             now.Sub(e.lastUse).Nanoseconds(),
+			Session:            ss,
+			ExtendedOps:        k.extended,
+			SF:                 k.sf,
+			Pinned:             e.refs,
+			SharedCacheEntries: e.sess.CacheEntries(),
+		}
+		if denom := ss.CacheHits + ss.SharedHits + ss.ComputedKeys; denom > 0 {
+			pe.CacheHitRate = float64(ss.CacheHits+ss.SharedHits) / float64(denom)
+		}
+		out = append(out, pe)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Catalog < out[j].Catalog })
 	return out

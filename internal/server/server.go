@@ -149,6 +149,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/cache/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("PUT /v1/cache/snapshot", s.handleSnapshotPut)
 	return s.recoverPanics(mux)
 }
 

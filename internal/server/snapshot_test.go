@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// getSnapshot fetches GET /v1/cache/snapshot with the given query string.
+func getSnapshot(t *testing.T, url, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/cache/snapshot" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// putSnapshot PUTs snapshot bytes.
+func putSnapshot(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url+"/v1/cache/snapshot", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestSnapshotWarmJoin is the serving-tier warm-join gate: a donor server
+// serves a workload cold, a joiner imports the donor's snapshot over HTTP,
+// and the joiner then serves the same workload bit-identically while
+// spending less than half the donor's oracle calls (in fact zero — every
+// memoized value transfers).
+func TestSnapshotWarmJoin(t *testing.T) {
+	donor := New(Config{})
+	dts := httptest.NewServer(donor.Handler())
+	defer dts.Close()
+
+	body := specBody(t, nil)
+	resp, refData := postOptimize(t, dts.URL, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("donor run = %d: %s", resp.StatusCode, refData)
+	}
+	ref := decodeResponse(t, refData)
+	if ref.Telemetry.OracleCalls == 0 {
+		t.Fatal("donor spent no oracle calls; the gate needs a real search")
+	}
+
+	// A drain does not block the export: handing warmth to a replacement
+	// is exactly what a draining replica is for.
+	donor.Drain()
+	resp, snap := getSnapshot(t, dts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot export = %d: %s", resp.StatusCode, snap)
+	}
+
+	joiner := New(Config{})
+	jts := httptest.NewServer(joiner.Handler())
+	defer jts.Close()
+	resp, impData := putSnapshot(t, jts.URL, snap)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot import = %d: %s", resp.StatusCode, impData)
+	}
+	var imp SnapshotImportResponse
+	if err := json.Unmarshal(impData, &imp); err != nil {
+		t.Fatal(err)
+	}
+	if imp.Catalog != "sf=1" || imp.Entries == 0 {
+		t.Fatalf("import = %+v, want catalog sf=1 with entries", imp)
+	}
+
+	resp, warmData := postOptimize(t, jts.URL, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run = %d: %s", resp.StatusCode, warmData)
+	}
+	warm := decodeResponse(t, warmData)
+	if warm.CostMS != ref.CostMS || warm.BenefitMS != ref.BenefitMS {
+		t.Errorf("warm costs (%v, %v) != donor (%v, %v)", warm.CostMS, warm.BenefitMS, ref.CostMS, ref.BenefitMS)
+	}
+	if len(warm.Materialized) != len(ref.Materialized) {
+		t.Fatalf("warm set %v != %v", warm.Materialized, ref.Materialized)
+	}
+	for i := range warm.Materialized {
+		if warm.Materialized[i] != ref.Materialized[i] {
+			t.Fatalf("warm set %v != %v", warm.Materialized, ref.Materialized)
+		}
+	}
+	if warm.Telemetry.OracleCalls*2 > ref.Telemetry.OracleCalls {
+		t.Errorf("warm join spent %d oracle calls, want ≤ half of cold %d",
+			warm.Telemetry.OracleCalls, ref.Telemetry.OracleCalls)
+	}
+	if warm.Telemetry.SharedOracleHits == 0 {
+		t.Error("warm run reports no SharedOracleHits")
+	}
+
+	// The warmth is visible in /v1/stats.
+	sr, err := http.Get(jts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	err = json.NewDecoder(sr.Body).Decode(&stats)
+	sr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Pool) != 1 || stats.Pool[0].SharedCacheEntries == 0 {
+		t.Errorf("joiner pool stats carry no warmth: %+v", stats.Pool)
+	}
+	if stats.Pool[0].Session.SharedOracleHits != warm.Telemetry.SharedOracleHits {
+		t.Errorf("pool SharedOracleHits = %d, response says %d",
+			stats.Pool[0].Session.SharedOracleHits, warm.Telemetry.SharedOracleHits)
+	}
+}
+
+// TestSnapshotMissingAndMismatch covers the failure surface: exporting an
+// unpooled catalog is 404 snapshot_missing; importing a snapshot for a
+// catalog the server does not serve is 409 snapshot_mismatch; garbage is
+// a 400; and a draining server refuses imports.
+func TestSnapshotMissingAndMismatch(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, data := getSnapshot(t, ts.URL, "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold export = %d: %s", resp.StatusCode, data)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != codeSnapshotMissing {
+		t.Errorf("cold export body = %s, want code %s", data, codeSnapshotMissing)
+	}
+
+	// Pool a session, export it, then doctor the scope to an unserved sf.
+	if resp, d := postOptimize(t, ts.URL, specBody(t, nil), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup = %d: %s", resp.StatusCode, d)
+	}
+	resp, snap := getSnapshot(t, ts.URL, "?sf=1&extended=false")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export = %d: %s", resp.StatusCode, snap)
+	}
+	resp, data = getSnapshot(t, ts.URL, "?sf=10")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unpooled sf export = %d: %s", resp.StatusCode, data)
+	}
+
+	other := New(Config{AllowedSFs: []float64{2}, DefaultSF: 2})
+	ots := httptest.NewServer(other.Handler())
+	defer ots.Close()
+	resp, data = putSnapshot(t, ots.URL, snap)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched import = %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != codeSnapshotMismatch {
+		t.Errorf("mismatched import body = %s, want code %s", data, codeSnapshotMismatch)
+	}
+
+	// A tampered checksum and plain garbage are both 400s.
+	resp, data = putSnapshot(t, ts.URL, bytes.Replace(snap, []byte(`"checksum": "`), []byte(`"checksum": "0`), 1))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tampered import = %d: %s", resp.StatusCode, data)
+	}
+	resp, data = putSnapshot(t, ts.URL, []byte("not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage import = %d: %s", resp.StatusCode, data)
+	}
+
+	srv.Drain()
+	resp, data = putSnapshot(t, ts.URL, snap)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining import = %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != codeDraining {
+		t.Errorf("draining import body = %s, want code %s", data, codeDraining)
+	}
+}
+
+// TestParsePoolKey pins the key grammar both ways.
+func TestParsePoolKey(t *testing.T) {
+	for _, k := range []poolKey{
+		{sf: 1}, {sf: 10}, {sf: 0.5}, {sf: 1, extended: true}, {sf: 100, extended: true},
+	} {
+		got, err := parsePoolKey(k.String())
+		if err != nil || got != k {
+			t.Errorf("parsePoolKey(%q) = (%+v, %v), want %+v", k.String(), got, err, k)
+		}
+	}
+	for _, s := range []string{"", "sf=", "sf=x", "sf=-1", "sf=0", "sf=1+h", "1", "sf=NaN", "sf=+Inf"} {
+		if _, err := parsePoolKey(s); err == nil {
+			t.Errorf("parsePoolKey(%q) succeeded", s)
+		}
+	}
+}
+
+// TestSnapshotQueryParamValidation: bad sf/extended params are 400s.
+func TestSnapshotQueryParamValidation(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, q := range []string{"?sf=bogus", "?sf=-1", "?extended=maybe"} {
+		resp, data := getSnapshot(t, ts.URL, q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s = %d: %s", q, resp.StatusCode, data)
+		}
+	}
+}

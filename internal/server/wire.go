@@ -256,6 +256,12 @@ const (
 	codeResumeMismatch = "resume_mismatch"
 	codeInternalPanic  = "internal_panic"
 	codeInternalError  = "internal_error"
+	// codeSnapshotMissing: GET /v1/cache/snapshot named a catalog key with
+	// no pooled session — there is no warmth to export.
+	codeSnapshotMissing = "snapshot_missing"
+	// codeSnapshotMismatch: PUT /v1/cache/snapshot carried a snapshot whose
+	// scope does not name a catalog key this server serves.
+	codeSnapshotMismatch = "snapshot_mismatch"
 )
 
 // errorBody is the JSON body of every non-2xx response.

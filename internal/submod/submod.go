@@ -243,15 +243,41 @@ type InteractionFunction interface {
 	Interacts(e, x int) bool
 }
 
+// MemoL2 is an optional cross-run store of memoized f(S) values, keyed by
+// Set.Key. Because f is a pure function of the search space it was built
+// over, a value computed by any earlier run over the same space is exactly
+// the value this run would compute — so an L2 hit skips the oracle call
+// entirely without changing any result. The owner is responsible for
+// namespacing: an L2 handed to an Oracle must only ever serve values
+// computed for the same function (repro wires it to the session's
+// SharedCache under the search-space fingerprint). Implementations must be
+// safe for concurrent use by multiple oracles.
+type MemoL2 interface {
+	Get(key uint64) (float64, bool)
+	Put(key uint64, v float64)
+}
+
 // Oracle wraps a Function with memoization and an evaluation counter, so
 // algorithms can be compared by the number of (potentially expensive)
 // oracle calls — in MQO each call is one bestCost optimization. An
 // optional Control (SetControl) bounds a run by context cancellation and
 // an oracle-call budget; the algorithms check Interrupted between rounds
 // and stop with a deterministic best-so-far set.
+//
+// An optional L2 (set before the run starts) serves values memoized by
+// earlier runs over the same function: a hit fills the run memo without
+// counting an oracle call (L2Hits counts them instead), and every freshly
+// evaluated value is published back. Values are pure, so an L2 changes
+// only the Calls accounting — never a selected set or a cost.
 type Oracle struct {
 	F     Function
 	Calls int
+	// L2 is the optional cross-run value store; nil means every distinct
+	// set costs a real oracle call.
+	L2 MemoL2
+	// L2Hits counts distinct sets served from the L2 instead of the
+	// function — the warm-start savings of this run.
+	L2Hits int
 
 	ctrl *Control
 	memo map[uint64]float64
@@ -268,9 +294,19 @@ func (o *Oracle) Eval(s Set) float64 {
 	if v, ok := o.memo[k]; ok {
 		return v
 	}
+	if o.L2 != nil {
+		if v, ok := o.L2.Get(k); ok {
+			o.L2Hits++
+			o.memo[k] = v
+			return v
+		}
+	}
 	o.Calls++
 	v := o.F.Eval(s)
 	o.memo[k] = v
+	if o.L2 != nil {
+		o.L2.Put(k, v)
+	}
 	return v
 }
 
@@ -294,10 +330,21 @@ func (o *Oracle) EvalBatch(sets []Set) ([]float64, bool) {
 		keys[i] = k
 		if v, ok := o.memo[k]; ok {
 			out[i] = v
-		} else if !seen[k] {
-			seen[k] = true
-			missIdx = append(missIdx, i)
+			continue
 		}
+		if seen[k] {
+			continue
+		}
+		if o.L2 != nil {
+			if v, ok := o.L2.Get(k); ok {
+				o.L2Hits++
+				o.memo[k] = v
+				out[i] = v
+				continue
+			}
+		}
+		seen[k] = true
+		missIdx = append(missIdx, i)
 	}
 	if len(missIdx) > 0 {
 		if bf, ok := o.F.(BatchFunction); ok && len(missIdx) > 1 {
@@ -311,6 +358,9 @@ func (o *Oracle) EvalBatch(sets []Set) ([]float64, bool) {
 			for j := 0; j < len(vals) && j < len(missIdx); j++ {
 				o.Calls++
 				o.memo[keys[missIdx[j]]] = vals[j]
+				if o.L2 != nil {
+					o.L2.Put(keys[missIdx[j]], vals[j])
+				}
 			}
 			if !ok {
 				o.markCancelled()
@@ -324,6 +374,9 @@ func (o *Oracle) EvalBatch(sets []Set) ([]float64, bool) {
 				v := o.F.Eval(sets[i])
 				o.Calls++
 				o.memo[keys[i]] = v
+				if o.L2 != nil {
+					o.L2.Put(keys[i], v)
+				}
 			}
 		}
 		// Fill every position (duplicates included) from the memo.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -95,6 +96,7 @@ type config struct {
 	extendedOps bool
 	memoOpts    []memo.Option
 	resume      *Checkpoint
+	warmOracle  bool
 }
 
 // Option configures a Session (defaults for every call) or a single
@@ -146,6 +148,19 @@ func WithExtendedOps(on bool) Option {
 	return func(c *config) { c.extendedOps = on }
 }
 
+// WithWarmOracle lets runs consume memoized oracle values earlier runs
+// over the same search space published into the session's shared cache,
+// skipping those oracle calls entirely (Telemetry.SharedOracleHits counts
+// them; OracleCalls+SharedOracleHits is the cold cost). Every run always
+// publishes its values; consuming is opt-in because it changes call
+// accounting — budgets, quota charges — for repeated identical batches,
+// which cold-replay determinism otherwise relies on. ImportCache turns it
+// on implicitly: a session warm-started from a snapshot exists to spend
+// fewer calls.
+func WithWarmOracle(on bool) Option {
+	return func(c *config) { c.warmOracle = on }
+}
+
 // WithMemoOptions forwards DAG-construction options (rule ablations) to
 // memo.Build.
 func WithMemoOptions(opts ...memo.Option) Option {
@@ -171,14 +186,19 @@ func WithResume(cp *Checkpoint) Option {
 // tags are the wire contract of /v1/stats; durations marshal as
 // nanoseconds.
 type SessionStats struct {
-	Batches       int `json:"batches"`             // Optimize calls completed
-	Interrupted   int `json:"interrupted"`         // calls stopped by a budget or cancellation
-	OracleCalls   int `json:"oracle_calls"`        // total memoized-distinct oracle calls
-	BCCalls       int `json:"bc_calls"`            // total bestCost invocations
-	CacheHits     int `json:"cache_hits"`          // worker-private (L1) cache hits
-	SharedHits    int `json:"shared_hits"`         // session SharedCache (L2) hits
-	Rounds        int `json:"rounds"`              // completed greedy rounds
-	Invalidations int `json:"cache_invalidations"` // InvalidateCache calls
+	Batches      int `json:"batches"`       // Optimize calls completed
+	Interrupted  int `json:"interrupted"`   // calls stopped by a budget or cancellation
+	OracleCalls  int `json:"oracle_calls"`  // total memoized-distinct oracle calls
+	BCCalls      int `json:"bc_calls"`      // total bestCost invocations
+	CacheHits    int `json:"cache_hits"`    // worker-private (L1) cache hits
+	SharedHits   int `json:"shared_hits"`   // session SharedCache (L2) hits
+	ComputedKeys int `json:"computed_keys"` // fresh (group, order, mask) computations
+	// SharedOracleHits counts whole oracle evaluations served from the
+	// session cache's cross-run memo — calls a cold session would have paid
+	// for but this one did not (warm-start savings).
+	SharedOracleHits int `json:"shared_oracle_hits"`
+	Rounds           int `json:"rounds"`              // completed greedy rounds
+	Invalidations    int `json:"cache_invalidations"` // InvalidateCache calls
 	// Faults counts Optimize calls stopped by a recovered panic. A faulted
 	// call contributes ONLY here: its telemetry is excluded from every
 	// other counter (and the call returns a *FaultError, not a RunResult),
@@ -222,6 +242,10 @@ type Session struct {
 	// of similar batches. Recipes are pure functions of (catalog, query)
 	// and never invalidate within a session.
 	build *memo.BuildCache
+	// warmed flips on when a snapshot is imported: from then on every run
+	// consumes memoized oracle values from the shared cache (see
+	// WithWarmOracle), which is the entire point of warm-starting.
+	warmed atomic.Bool
 
 	mu    sync.Mutex
 	stats SessionStats
@@ -258,6 +282,39 @@ func (s *Session) InvalidateCache() {
 	s.mu.Lock()
 	s.stats.Invalidations++
 	s.mu.Unlock()
+}
+
+// CacheEntries reports how many live entries the session's shared
+// cross-call cost cache currently holds — cost keys and memoized oracle
+// values together. It is the warmth metric the serving tier exposes per
+// pooled session.
+func (s *Session) CacheEntries() int { return s.cache.Len() }
+
+// ExportCache snapshots the session's shared cost cache — every cost key
+// and memoized oracle value, across all search-space namespaces the
+// session has served — into a portable, versioned physical.CacheSnapshot.
+// scope is an owner-chosen label (the serving tier uses the catalog pool
+// key) that ImportCache verifies, so a snapshot taken for one catalog
+// configuration cannot be imported into another by accident. The snapshot
+// is canonical: exporting, importing into a fresh session and exporting
+// again yields byte-identical encodings.
+func (s *Session) ExportCache(scope string) *physical.CacheSnapshot {
+	return s.cache.Export(scope)
+}
+
+// ImportCache merges a snapshot exported by ExportCache into the session's
+// shared cache, returning the number of entries imported. A scope mismatch
+// is rejected with a *physical.SnapshotError before anything is merged.
+// Cached values are pure functions of their namespaced keys, so importing
+// can never change an optimization result — a warm-started session only
+// spends fewer oracle calls reaching the bit-identical answer (the serving
+// tier's warm-join path relies on exactly that).
+func (s *Session) ImportCache(snap *physical.CacheSnapshot, scope string) (int, error) {
+	n, err := s.cache.Import(snap, scope)
+	if err == nil {
+		s.warmed.Store(true)
+	}
+	return n, err
 }
 
 // RunResult is the outcome of one Session.Optimize call: the strategy
@@ -332,6 +389,7 @@ func (s *Session) runBatch(ctx context.Context, batch *logical.Batch, cfg config
 		TimeBudget:  cfg.timeBudget,
 		Progress:    cfg.progress,
 		Parallelism: cfg.parallelism,
+		WarmOracle:  cfg.warmOracle || s.warmed.Load(),
 	}
 	if cfg.hasBudget {
 		cc = cc.LimitOracleCalls(cfg.callBudget)
@@ -385,6 +443,8 @@ func (s *Session) runBatch(ctx context.Context, batch *logical.Batch, cfg config
 	s.stats.BCCalls += res.Telemetry.BCCalls
 	s.stats.CacheHits += res.Telemetry.CacheHits
 	s.stats.SharedHits += res.Telemetry.SharedHits
+	s.stats.ComputedKeys += res.Telemetry.ComputedKeys
+	s.stats.SharedOracleHits += res.Telemetry.SharedOracleHits
 	s.stats.Rounds += res.Telemetry.Rounds
 	s.stats.BuildTime += build
 	s.stats.OptTime += res.OptTime

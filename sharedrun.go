@@ -199,6 +199,7 @@ func SplitTelemetry(t Telemetry, weights []int) []Telemetry {
 	splitInt(t.CacheHits, func(i, v int) { out[i].CacheHits = v })
 	splitInt(t.SharedHits, func(i, v int) { out[i].SharedHits = v })
 	splitInt(t.ComputedKeys, func(i, v int) { out[i].ComputedKeys = v })
+	splitInt(t.SharedOracleHits, func(i, v int) { out[i].SharedOracleHits = v })
 	splitInt(t.Rounds, func(i, v int) { out[i].Rounds = v })
 	splitInt(t.Pruned, func(i, v int) { out[i].Pruned = v })
 	splitInt(t.Stale, func(i, v int) { out[i].Stale = v })

@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/physical"
+	"repro/internal/tpcd"
+)
+
+// TestWarmOracleOffByDefault pins the replay-determinism contract: without
+// an explicit warm-start, repeating an identical batch on one session
+// costs the same oracle calls every time — the shared cache speeds the
+// evaluations up but never changes call accounting.
+func TestWarmOracleOffByDefault(t *testing.T) {
+	sess := newTestSession(t)
+	first, err := sess.Optimize(context.Background(), tpcd.BQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sess.Optimize(context.Background(), tpcd.BQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Telemetry.OracleCalls != first.Telemetry.OracleCalls {
+		t.Errorf("replay oracle calls = %d, want %d (cold accounting)",
+			second.Telemetry.OracleCalls, first.Telemetry.OracleCalls)
+	}
+	if second.Telemetry.SharedOracleHits != 0 {
+		t.Errorf("replay SharedOracleHits = %d, want 0 without warm-start", second.Telemetry.SharedOracleHits)
+	}
+}
+
+// TestWithWarmOracleRepeatSkipsAllCalls: with warm-oracle reads enabled,
+// a repeated identical batch is served entirely from the memoized values
+// the first run published — zero oracle calls, every one of them a
+// SharedOracleHit, bit-identical result.
+func TestWithWarmOracleRepeatSkipsAllCalls(t *testing.T) {
+	sess := newTestSession(t, WithWarmOracle(true))
+	first, err := sess.Optimize(context.Background(), tpcd.BQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Telemetry.OracleCalls == 0 {
+		t.Fatal("first run spent no oracle calls; test needs a real search")
+	}
+	second, err := sess.Optimize(context.Background(), tpcd.BQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, first, second)
+	if second.Telemetry.OracleCalls != 0 {
+		t.Errorf("warm repeat spent %d oracle calls, want 0", second.Telemetry.OracleCalls)
+	}
+	if got, want := second.Telemetry.SharedOracleHits, first.Telemetry.OracleCalls; got != want {
+		t.Errorf("warm repeat SharedOracleHits = %d, want %d (the cold cost)", got, want)
+	}
+}
+
+// TestWarmStartFromSnapshot is the warm-join gate end to end: a cold
+// session's exported snapshot, round-tripped through its byte encoding and
+// imported into a fresh session, makes that session produce bit-identical
+// results while skipping every oracle call the donor already paid for —
+// far beyond the required 2× reduction.
+func TestWarmStartFromSnapshot(t *testing.T) {
+	donor := newTestSession(t)
+	ref, err := donor.Optimize(context.Background(), tpcd.BQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCalls := ref.Telemetry.OracleCalls
+	if coldCalls == 0 {
+		t.Fatal("donor run spent no oracle calls; test needs a real search")
+	}
+
+	enc, err := donor.ExportCache("sf=1").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := physical.DecodeCacheSnapshot(enc)
+	if err != nil {
+		t.Fatalf("decoding own export: %v", err)
+	}
+
+	warm := newTestSession(t)
+	n, err := warm.ImportCache(snap, "sf=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || warm.CacheEntries() != n {
+		t.Fatalf("imported %d entries, cache holds %d", n, warm.CacheEntries())
+	}
+
+	got, err := warm.Optimize(context.Background(), tpcd.BQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, ref, got)
+	if got.Telemetry.OracleCalls*2 > coldCalls {
+		t.Errorf("warm-started run spent %d oracle calls, want ≤ half of cold %d", got.Telemetry.OracleCalls, coldCalls)
+	}
+	if got.Telemetry.OracleCalls != 0 || got.Telemetry.SharedOracleHits != coldCalls {
+		t.Errorf("warm run = %d calls + %d shared hits, want 0 + %d (greedy replays the donor's exact set sequence)",
+			got.Telemetry.OracleCalls, got.Telemetry.SharedOracleHits, coldCalls)
+	}
+
+	// A scope-mismatched import is rejected before merging anything.
+	other := newTestSession(t)
+	if _, err := other.ImportCache(snap, "sf=2"); err == nil {
+		t.Fatal("scope mismatch import succeeded")
+	}
+	if other.CacheEntries() != 0 {
+		t.Fatal("rejected import left entries behind")
+	}
+}
+
+// assertSameResult compares the decision-relevant outputs of two runs:
+// chosen set, cost, volcano cost and benefit must be bit-identical.
+func assertSameResult(t *testing.T, a, b *RunResult) {
+	t.Helper()
+	if a.Cost != b.Cost || a.VolcanoCost != b.VolcanoCost || a.Benefit != b.Benefit {
+		t.Errorf("costs (%v, %v, %v) != (%v, %v, %v)",
+			b.Cost, b.VolcanoCost, b.Benefit, a.Cost, a.VolcanoCost, a.Benefit)
+	}
+	if len(a.Materialized) != len(b.Materialized) {
+		t.Fatalf("materialized %v != %v", b.Materialized, a.Materialized)
+	}
+	for i := range a.Materialized {
+		if a.Materialized[i] != b.Materialized[i] {
+			t.Fatalf("materialized %v != %v", b.Materialized, a.Materialized)
+		}
+	}
+}

@@ -8,7 +8,9 @@
 //	          [-pool-size 4] [-sf 1] [-sfs 1,10,100] [-max-queries 1024]
 //	          [-max-concurrent 4] [-queue-depth 16] [-queue-wait 5s]
 //	          [-time-budget 0] [-call-budget 0] [-call-quota 0]
-//	          [-drain-grace 2s] [-drain-timeout 30s]
+//	          [-refill-per-sec 0] [-quota-burst 0] [-weight 1] [-deadline 0]
+//	          [-sched-slots 0] [-sched-quantum 64] [-sched-policy drr]
+//	          [-no-preempt] [-drain-grace 2s] [-drain-timeout 30s]
 //	          [-breaker-off] [-breaker-failures 3] [-breaker-cooldown 10s]
 //	          [-degraded-time-budget 2s] [-degraded-call-budget 50000]
 //	          [-batch] [-batch-max 8] [-batch-delay 5ms] [-batch-queries 0]
@@ -21,14 +23,24 @@
 // the tenant quota is charged with. See internal/server's package doc
 // for the batching contract.
 //
+// -sched-slots gives all tenants a shared worker-slot pool scheduled by
+// -sched-policy: "drr" (deficit-round-robin weighted-fair dispatch with
+// earliest-deadline-first cut-ahead and — unless -no-preempt — deadline-
+// aware preemption of checkpointable runs at round boundaries) or "fifo"
+// (global arrival order). Tenants with a call_quota refill continuously
+// at refill_per_sec tokens per second up to quota_burst (default: the
+// quota itself); POST /v1/tenants/{name}/reset refills a bucket manually.
+//
 // The -tenants file is a JSON object mapping tenant name to its limits;
-// the -max-concurrent/-queue-*/-*-budget flags configure the default
-// tenant applied to names missing from the table:
+// the -max-concurrent/-queue-*/-*-budget/-weight/-deadline flags
+// configure the default tenant applied to names missing from the table:
 //
 //	{
 //	  "acme":  {"max_concurrent": 8, "queue_depth": 32, "queue_wait_ms": 2000,
-//	            "time_budget_ms": 1000, "call_budget": 20000, "call_quota": 1000000},
-//	  "guest": {"max_concurrent": 1, "queue_depth": 4, "call_quota": 50000}
+//	            "time_budget_ms": 1000, "call_budget": 20000, "call_quota": 1000000,
+//	            "refill_per_sec": 5000, "quota_burst": 2000000, "weight": 4},
+//	  "guest": {"max_concurrent": 1, "queue_depth": 4, "call_quota": 50000,
+//	            "deadline_ms": 500}
 //	}
 //
 // Each catalog (scale factor + operator set) carries a circuit breaker:
@@ -78,8 +90,17 @@ func main() {
 		timeBudget    = flag.Duration("time-budget", 0, "default tenant: per-request optimization wall-clock cap (0 = none)")
 		callBudget    = flag.Int("call-budget", 0, "default tenant: per-request oracle-call cap (0 = none)")
 		callQuota     = flag.Int64("call-quota", 0, "default tenant: cumulative oracle-call quota (0 = unlimited)")
-		drainGrace    = flag.Duration("drain-grace", 2*time.Second, "how long to keep answering (503) after SIGTERM so load balancers observe the drain before the listener closes")
-		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get after SIGTERM")
+		refillPerSec  = flag.Float64("refill-per-sec", 0, "default tenant: quota token-bucket refill rate in oracle calls/sec (0 = manual reset only)")
+		quotaBurst    = flag.Int64("quota-burst", 0, "default tenant: quota bucket capacity (0 = the quota itself)")
+		weight        = flag.Int("weight", 1, "default tenant: weighted-fair (DRR) share of the scheduler slots")
+		deadline      = flag.Duration("deadline", 0, "default tenant: relative SLO deadline applied to its requests (0 = none)")
+
+		schedSlots   = flag.Int("sched-slots", 0, "shared worker-slot pool all tenants compete for (0 = per-tenant limits only)")
+		schedQuantum = flag.Int("sched-quantum", 64, "DRR deficit quantum in query-count units, scaled by each tenant's weight")
+		schedPolicy  = flag.String("sched-policy", server.PolicyDRR, `scheduling policy: "drr" or "fifo"`)
+		noPreempt    = flag.Bool("no-preempt", false, "disable deadline-aware preemption while keeping DRR dispatch")
+		drainGrace   = flag.Duration("drain-grace", 2*time.Second, "how long to keep answering (503) after SIGTERM so load balancers observe the drain before the listener closes")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight requests get after SIGTERM")
 
 		batch        = flag.Bool("batch", false, "enable cross-request continuous batching (one shared run per flush, exact per-request attribution)")
 		batchMax     = flag.Int("batch-max", 8, "batching: flush a lane once this many requests wait in it")
@@ -104,6 +125,10 @@ func main() {
 			TimeBudgetMS:  timeBudget.Milliseconds(),
 			CallBudget:    *callBudget,
 			CallQuota:     *callQuota,
+			RefillPerSec:  *refillPerSec,
+			QuotaBurst:    *quotaBurst,
+			Weight:        *weight,
+			DeadlineMS:    deadline.Milliseconds(),
 		},
 		StrictTenants: *strictTenants,
 		PoolSize:      *poolSize,
@@ -116,6 +141,12 @@ func main() {
 			MaxDelayMS:  batchDelay.Milliseconds(),
 			MaxQueries:  *batchQueries,
 		},
+		Sched: server.SchedConfig{
+			Slots:     *schedSlots,
+			Quantum:   *schedQuantum,
+			Policy:    *schedPolicy,
+			NoPreempt: *noPreempt,
+		},
 		Breaker: server.BreakerConfig{
 			Disabled:             *breakerOff,
 			FailureThreshold:     *breakerFailures,
@@ -125,6 +156,12 @@ func main() {
 			DegradedTimeBudgetMS: degradedTime.Milliseconds(),
 			DegradedCallBudget:   *degradedCalls,
 		},
+	}
+	if err := cfg.DefaultTenant.Validate(); err != nil {
+		log.Fatalf("mqoserver: default tenant: %v", err)
+	}
+	if *schedPolicy != server.PolicyDRR && *schedPolicy != server.PolicyFIFO {
+		log.Fatalf("mqoserver: -sched-policy: %q is not %q or %q", *schedPolicy, server.PolicyDRR, server.PolicyFIFO)
 	}
 	for _, part := range strings.Split(*sfs, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -225,6 +262,11 @@ func loadTenants(path string) (map[string]server.TenantConfig, error) {
 	var table map[string]server.TenantConfig
 	if err := strictjson.Decode(data, &table); err != nil {
 		return nil, errors.New(path + ": " + err.Error())
+	}
+	for name, tc := range table {
+		if err := tc.Validate(); err != nil {
+			return nil, errors.New(path + ": tenant " + name + ": " + err.Error())
+		}
 	}
 	return table, nil
 }

@@ -110,6 +110,16 @@ type Config struct {
 	// The serving tier enables it only for sessions warm-started from an
 	// imported cache snapshot.
 	WarmOracle bool
+	// PreemptSignal, when non-nil, is polled after every completed greedy
+	// round (from the same between-rounds hook as Progress). When it
+	// returns true the run's context is cancelled with submod.ErrPreempted
+	// as the cause, so the run stops at the round boundary with
+	// Telemetry.Stopped == submod.StopPreempted and — for a resumable lazy
+	// strategy — a Checkpoint that continues it bit-identically. Polling
+	// only at round boundaries is what keeps Σ segment telemetry equal to
+	// an unpreempted run's: a mid-batch abort would re-price the
+	// interrupted round's pops on resume.
+	PreemptSignal func() bool
 
 	maxCalls    int
 	hasMaxCalls bool
@@ -374,6 +384,23 @@ func run(ctx context.Context, opt *volcano.Optimizer, strat Strategy, cfg Config
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.TimeBudget)
 		defer cancel()
+	}
+	if cfg.PreemptSignal != nil {
+		// Preemption cancels with a cause, checked only between completed
+		// rounds (the Progress hook), so the stop lands exactly on a
+		// checkpointable round boundary.
+		var cancel context.CancelCauseFunc
+		ctx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+		signal, inner := cfg.PreemptSignal, cfg.Progress
+		cfg.Progress = func(p submod.Progress) {
+			if inner != nil {
+				inner(p)
+			}
+			if signal() {
+				cancel(submod.ErrPreempted)
+			}
+		}
 	}
 	if strat == VolcanoSH {
 		return runVolcanoSH(ctx, opt, cfg), nil

@@ -42,6 +42,10 @@ type TenantLoad struct {
 	Strategy string
 	// CallBudget > 0 caps each request's oracle calls.
 	CallBudget int
+	// DeadlineMS > 0 stamps each request with a relative SLO deadline: the
+	// server schedules it earliest-deadline-first and may preempt running
+	// bulk work for it (see the server's scheduling contract).
+	DeadlineMS int64
 	// VarySeeds gives every request a distinct spec seed (derived
 	// deterministically from the trace seed), so requests stop being
 	// replays of one batch and the session cache must generalize.
@@ -115,6 +119,9 @@ func buildBody(l TenantLoad, seed int64) ([]byte, error) {
 	}
 	if l.CallBudget > 0 {
 		m["oracle_call_budget"] = l.CallBudget
+	}
+	if l.DeadlineMS > 0 {
+		m["deadline_ms"] = l.DeadlineMS
 	}
 	return json.Marshal(m)
 }

@@ -38,7 +38,28 @@ type RunConfig struct {
 	// Report.StatsBody, capturing per-replica warmth (cache entries, hit
 	// rates) next to the load-side numbers.
 	ScrapeStats bool
-	Hooks       []Hook
+	// Observer, when non-nil, receives every response as it is folded into
+	// the report: the tenant, the HTTP status (0 for a transport error) and
+	// the raw body (nil on transport errors). It runs under the report
+	// lock, so implementations must not call back into the runner. The
+	// fairness harness uses it to capture bodies for bit-identity audits.
+	Observer func(tenant string, status int, body []byte)
+	Hooks    []Hook
+}
+
+// TenantReport is one tenant's slice of a replay measurement.
+type TenantReport struct {
+	Requests int
+	Goodput  int
+	Rejected int
+	Failed   int
+	// Latency percentiles over this tenant's requests, milliseconds.
+	P50MS, P99MS float64
+	// OracleCalls and Preemptions sum over this tenant's 200 responses.
+	OracleCalls int
+	Preemptions int
+
+	latencies []float64
 }
 
 // Report is what a replay measured.
@@ -58,6 +79,12 @@ type Report struct {
 	GoodputRPS float64
 	// OracleCalls sums the oracle calls of every 200 response.
 	OracleCalls int
+	// Preemptions sums the preemption counts of every 200 response: how
+	// often the server suspended-and-resumed runs to serve nearer-deadline
+	// work during the replay.
+	Preemptions int
+	// ByTenant breaks the measurement down per X-Tenant attribution.
+	ByTenant map[string]*TenantReport
 	// ByKeyReplica counts, per tenant-catalog key, which replica served
 	// each request (from X-MQO-Replica; "direct" when absent — a bare
 	// server, no router).
@@ -103,11 +130,14 @@ func (r *Report) String() string {
 
 // outcome is one request's result, folded into the report under a lock.
 type outcome struct {
-	key       string
-	status    int
-	replica   string
-	latencyMS float64
-	calls     int
+	key         string
+	tenant      string
+	status      int
+	replica     string
+	latencyMS   float64
+	calls       int
+	preemptions int
+	body        []byte
 }
 
 // runner carries the shared replay state.
@@ -140,6 +170,7 @@ func Run(ctx context.Context, tr *Trace, cfg RunConfig) (*Report, error) {
 		report: &Report{
 			StatusCounts: make(map[int]int),
 			ByKeyReplica: make(map[string]map[string]int),
+			ByTenant:     make(map[string]*TenantReport),
 		},
 	}
 	hooks := append([]Hook(nil), cfg.Hooks...)
@@ -231,6 +262,11 @@ func Run(ctx context.Context, tr *Trace, cfg RunConfig) (*Report, error) {
 	rep.P50MS = percentile(r.latencies, 0.50)
 	rep.P99MS = percentile(r.latencies, 0.99)
 	rep.P999MS = percentile(r.latencies, 0.999)
+	for _, tr := range rep.ByTenant {
+		sort.Float64s(tr.latencies)
+		tr.P50MS = percentile(tr.latencies, 0.50)
+		tr.P99MS = percentile(tr.latencies, 0.99)
+	}
 	if cfg.ScrapeStats {
 		if resp, err := client.Get(cfg.BaseURL + "/v1/stats"); err == nil {
 			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
@@ -263,7 +299,7 @@ func (r *runner) send(ctx context.Context, tenant, key string, body []byte) {
 		return
 	}
 	t0 := time.Now()
-	o := outcome{key: key, latencyMS: 0}
+	o := outcome{key: key, tenant: tenant, latencyMS: 0}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+"/v1/optimize", bytes.NewReader(body))
 	if err == nil {
 		req.Header.Set("X-Tenant", tenant)
@@ -274,14 +310,17 @@ func (r *runner) send(ctx context.Context, tenant, key string, body []byte) {
 			resp.Body.Close()
 			o.status = resp.StatusCode
 			o.replica = resp.Header.Get("X-MQO-Replica")
+			o.body = data
 			if o.status == http.StatusOK {
 				var tele struct {
 					Telemetry struct {
 						OracleCalls int `json:"oracle_calls"`
 					} `json:"telemetry"`
+					Preemptions int `json:"preemptions"`
 				}
 				if json.Unmarshal(data, &tele) == nil {
 					o.calls = tele.Telemetry.OracleCalls
+					o.preemptions = tele.Preemptions
 				}
 			}
 		}
@@ -294,22 +333,59 @@ func (r *runner) send(ctx context.Context, tenant, key string, body []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rep := r.report
+	tr := rep.ByTenant[o.tenant]
+	if tr == nil {
+		tr = &TenantReport{}
+		rep.ByTenant[o.tenant] = tr
+	}
 	rep.Requests++
+	tr.Requests++
 	rep.StatusCounts[o.status]++
 	switch {
 	case o.status == http.StatusOK:
 		rep.Goodput++
 		rep.OracleCalls += o.calls
+		rep.Preemptions += o.preemptions
+		tr.Goodput++
+		tr.OracleCalls += o.calls
+		tr.Preemptions += o.preemptions
 	case o.status >= 400 && o.status < 500:
 		rep.Rejected++
+		tr.Rejected++
 	default:
 		rep.Failed++
+		tr.Failed++
 	}
 	if rep.ByKeyReplica[o.key] == nil {
 		rep.ByKeyReplica[o.key] = make(map[string]int)
 	}
 	rep.ByKeyReplica[o.key][o.replica]++
 	r.latencies = append(r.latencies, o.latencyMS)
+	tr.latencies = append(tr.latencies, o.latencyMS)
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(o.tenant, o.status, o.body)
+	}
+}
+
+// JainIndex is Jain's fairness index over per-tenant allocations:
+// (Σx)²/(n·Σx²) — 1 when every tenant gets an equal share, approaching
+// 1/n as one tenant starves the rest. The fairness gate feeds it inverse
+// slowdowns (solo reference latency over observed latency), so a policy
+// that serves every tenant at the same multiple of its solo latency
+// scores 1 regardless of how different the tenants' demands are.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
 // percentile reads the q-quantile from sorted values (nearest-rank).

@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,10 +18,10 @@ type TenantConfig struct {
 	// MaxConcurrent is the number of requests the tenant may have running
 	// at once (default 4).
 	MaxConcurrent int `json:"max_concurrent,omitempty"`
-	// QueueDepth bounds the tenant's FIFO wait queue; a request arriving
-	// with the queue full is rejected with 429. Zero means the default
-	// (16); a negative value disables queueing entirely, so a tenant with
-	// all slots busy is rejected immediately.
+	// QueueDepth bounds the tenant's wait queue; a request arriving with
+	// the queue full is rejected with 429. Zero means the default (16); a
+	// negative value disables queueing entirely, so a tenant with all
+	// slots busy is rejected immediately.
 	QueueDepth int `json:"queue_depth,omitempty"`
 	// QueueWaitMS is the longest a request may wait for a slot before
 	// being rejected with 503 (default 5000).
@@ -30,11 +32,31 @@ type TenantConfig struct {
 	// CallBudget caps each admitted request's oracle calls (0 = none);
 	// requests asking for more are clamped to it.
 	CallBudget int `json:"call_budget,omitempty"`
-	// CallQuota is the tenant's cumulative oracle-call allowance across
-	// requests (0 = unlimited). Completed requests are charged their
-	// actual Telemetry.OracleCalls; once spent ≥ quota, new requests are
-	// rejected with 429 until ResetQuota.
+	// CallQuota is the tenant's oracle-call allowance (0 = unlimited).
+	// Completed requests are charged their actual Telemetry.OracleCalls
+	// against a token bucket of this size (or QuotaBurst, when set); once
+	// the bucket is empty new requests are rejected with 429 until tokens
+	// refill (RefillPerSec) or an operator resets the bucket (ResetQuota
+	// / POST /v1/tenants/{name}/reset).
 	CallQuota int64 `json:"call_quota,omitempty"`
+	// RefillPerSec refills the quota bucket continuously at this many
+	// oracle-call tokens per second (0 = no refill: the legacy
+	// manual-reset-only quota). 429 Retry-After reflects the actual time
+	// until a token is available.
+	RefillPerSec float64 `json:"refill_per_sec,omitempty"`
+	// QuotaBurst caps the bucket (0 = CallQuota): how much unused quota a
+	// tenant may accumulate and spend in a burst.
+	QuotaBurst int64 `json:"quota_burst,omitempty"`
+	// Weight is the tenant's deficit-round-robin share of the scheduler's
+	// worker slots (default 1): with slots contended, tenants receive
+	// service in proportion to their weights.
+	Weight int `json:"weight,omitempty"`
+	// DeadlineMS is the tenant's default relative deadline (0 = none).
+	// A request with a deadline is scheduled earliest-deadline-first
+	// within its tenant, may cut ahead of other tenants within its DRR
+	// deficit, and may preempt a running preemptible request whose
+	// deadline is later or absent.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Defaults applied by normalize.
@@ -56,11 +78,53 @@ func (c TenantConfig) normalize() TenantConfig {
 	if c.QueueWaitMS <= 0 {
 		c.QueueWaitMS = defaultQueueWaitMS
 	}
+	if c.Weight <= 0 {
+		c.Weight = 1
+	}
 	return c
+}
+
+// Validate rejects scheduler fields no normalization can repair: negative
+// weights or deadlines, and refill rates or bursts that are negative,
+// NaN, or infinite. (QueueDepth's negative form is meaningful — "no
+// queueing" — so the legacy fields stay normalize-only.)
+func (c TenantConfig) Validate() error {
+	if c.Weight < 0 {
+		return fmt.Errorf("tenant config: negative weight %d", c.Weight)
+	}
+	if c.RefillPerSec < 0 || math.IsNaN(c.RefillPerSec) || math.IsInf(c.RefillPerSec, 0) {
+		return fmt.Errorf("tenant config: refill_per_sec %v is not a finite non-negative rate", c.RefillPerSec)
+	}
+	if c.QuotaBurst < 0 {
+		return fmt.Errorf("tenant config: negative quota_burst %d", c.QuotaBurst)
+	}
+	if c.DeadlineMS < 0 {
+		return fmt.Errorf("tenant config: negative deadline_ms %d", c.DeadlineMS)
+	}
+	if c.CallQuota < 0 {
+		return fmt.Errorf("tenant config: negative call_quota %d", c.CallQuota)
+	}
+	return nil
 }
 
 func (c TenantConfig) queueWait() time.Duration {
 	return time.Duration(c.QueueWaitMS) * time.Millisecond
+}
+
+// weight is the normalized DRR weight.
+func (c TenantConfig) weight() int {
+	if c.Weight <= 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// bucketCap is the quota bucket's capacity in oracle-call tokens.
+func (c TenantConfig) bucketCap() float64 {
+	if c.QuotaBurst > 0 {
+		return float64(c.QuotaBurst)
+	}
+	return float64(c.CallQuota)
 }
 
 // TenantStats are one tenant's admission counters, served by /v1/stats.
@@ -77,6 +141,21 @@ type TenantStats struct {
 	Queued            int   `json:"queued"`
 	QuotaSpent        int64 `json:"quota_spent"`
 	QuotaLimit        int64 `json:"quota_limit,omitempty"`
+	// Preemptions counts this tenant's runs suspended at a round boundary
+	// to serve a nearer-deadline request (each was transparently resumed
+	// or returned its checkpoint).
+	Preemptions int64 `json:"preemptions,omitempty"`
+	// Weight is the tenant's effective DRR weight.
+	Weight int `json:"weight,omitempty"`
+	// QuotaRemaining is the token bucket's current level (refilled to the
+	// snapshot instant); negative after an overspend.
+	QuotaRemaining float64 `json:"quota_remaining,omitempty"`
+	// RefillPerSec echoes the tenant's refill rate.
+	RefillPerSec float64 `json:"refill_per_sec,omitempty"`
+	// NextAdmitMS is the time until a whole token is available when the
+	// bucket is empty and refilling (0 when admittable now or when only a
+	// manual reset can help).
+	NextAdmitMS int64 `json:"next_admit_ms,omitempty"`
 }
 
 // Admission reasons a request can be turned away with.
@@ -96,26 +175,35 @@ var (
 	ErrTenantOverflow = errors.New("admission: too many distinct tenants")
 )
 
-// waiter outcomes, guarded by the tenant mutex.
+// waiter outcomes, guarded by the scheduler mutex.
 const (
 	waiterPending  = iota // still queued
-	waiterGranted         // a releasing request handed its slot over
+	waiterGranted         // the dispatcher granted a slot
 	waiterQuotaCut        // rejected in the queue: the tenant quota is spent
 )
 
-// waiter is one queued request. outcome is guarded by the tenant mutex:
-// a releasing request either hands its slot over (waiterGranted) or, once
-// the quota is spent, cuts the whole queue (waiterQuotaCut), closing ch
-// either way. A waiter whose timer or context fires concurrently
-// re-checks the outcome under the mutex (settle) and, if it was granted
-// in that same instant, is admitted — the grant wins the race, so the
-// slot is used rather than leaked.
+// waiter is one queued request (or one suspended run waiting to resume).
+// outcome is guarded by the scheduler mutex: the dispatcher either grants
+// a slot (waiterGranted) or, once a non-refilling quota is spent, cuts
+// the whole queue (waiterQuotaCut), closing ch either way. A waiter whose
+// timer or context fires concurrently re-checks the outcome under the
+// mutex (settle) and, if it was granted in that same instant, is admitted
+// — the grant wins the race, so the slot is used rather than leaked.
 type waiter struct {
-	ch      chan struct{}
-	outcome int
+	ch           chan struct{}
+	outcome      int
+	t            *tenant
+	g            *Grant
+	seq          uint64    // global arrival order (a resumption keeps its original)
+	cost         float64   // DRR charge, in query-count units
+	deadline     time.Time // zero unless hasDeadline
+	hasDeadline  bool
+	resume       bool // a preempted run re-entering; not a new admission
+	preemptAsked bool // this waiter already claimed its one preemption victim
 }
 
-// tenant is the runtime admission state of one tenant.
+// tenant is the runtime admission state of one tenant; all mutable fields
+// are guarded by the controller's scheduler mutex.
 type tenant struct {
 	name string
 	cfg  TenantConfig
@@ -123,9 +211,17 @@ type tenant struct {
 	// deterministic Retry-After jitter sequence (see RetryAfter).
 	retrySeq atomic.Uint64
 
-	mu         sync.Mutex
-	active     int
-	queue      []*waiter
+	active  int
+	queue   []*waiter // EDF-then-FIFO under DRR; pure arrival order under FIFO
+	deficit float64   // DRR deficit counter, in cost units
+	inRing  bool
+
+	// Token-bucket quota state, lazily initialized to a full bucket on
+	// first inspection so directly-constructed tenants (tests) work.
+	bktInit    bool
+	tokens     float64
+	lastRefill time.Time
+
 	quotaSpent int64
 	stats      TenantStats
 }
@@ -136,40 +232,66 @@ type tenant struct {
 // Pre-declared tenants don't count against it.
 const maxDynamicTenants = 4096
 
-// Admission is the per-tenant admission controller: a concurrency limit,
-// a bounded FIFO queue with a wait deadline, and a cumulative oracle-call
-// quota per tenant. All methods are safe for concurrent use.
+// Admission is the scheduling admission controller: per-tenant
+// concurrency limits and bounded wait queues as before, plus — when a
+// SchedConfig gives it shared worker slots — deficit-round-robin
+// weighted-fair dispatch, earliest-deadline-first cut-ahead, token-bucket
+// quota refill, and deadline-aware preemption of running grants (see
+// sched.go). All methods are safe for concurrent use; one mutex guards
+// the whole scheduler state, so dispatch decisions are serialized.
 type Admission struct {
 	mu       sync.Mutex
 	tenants  map[string]*tenant
 	declared int // tenants pre-declared at construction
 	defCfg   TenantConfig
 	strict   bool
+	sched    SchedConfig
+
+	running  int       // grants currently holding a shared slot
+	seq      uint64    // global arrival counter
+	ring     []*tenant // tenants with queued waiters, DRR visit order
+	ringIdx  int
+	topped   bool     // ring[ringIdx] already got this visit's DRR replenish
+	activeG  []*Grant // grants currently holding a slot (preemption victims)
+	preempts int64    // total preemptions issued
+
 	// newTimer is the queue-wait clock hook; tests swap it for a manual
 	// trigger so timeout/handoff races are driven deterministically.
 	newTimer func(time.Duration) (<-chan time.Time, func() bool)
 	// rand64 is the Retry-After jitter RNG hook (splitmix64 by default);
 	// tests swap it to pin or remove the jitter.
 	rand64 func(uint64) uint64
+	// now is the token-bucket clock hook; tests swap it for a manual
+	// clock so refill accounting is deterministic.
+	now func() time.Time
 	// retrySeq numbers rejections of tenants with no allocated state, so
 	// their jitter sequence advances without growing the tenant map.
 	retrySeq atomic.Uint64
 }
 
-// NewAdmission builds a controller. def is the config for tenants not in
-// cfgs (unless strict, in which case they are rejected); cfgs pre-declares
-// named tenants.
+// NewAdmission builds a controller with no shared slots: only the
+// per-tenant limits bind, which is the legacy per-tenant FIFO behavior.
+// def is the config for tenants not in cfgs (unless strict, in which case
+// they are rejected); cfgs pre-declares named tenants.
 func NewAdmission(def TenantConfig, cfgs map[string]TenantConfig, strict bool) *Admission {
+	return NewScheduler(def, cfgs, strict, SchedConfig{})
+}
+
+// NewScheduler builds a controller with a scheduling policy over a shared
+// worker-slot pool (see SchedConfig).
+func NewScheduler(def TenantConfig, cfgs map[string]TenantConfig, strict bool, sc SchedConfig) *Admission {
 	a := &Admission{
 		tenants:  make(map[string]*tenant, len(cfgs)),
 		declared: len(cfgs),
 		defCfg:   def.normalize(),
 		strict:   strict,
+		sched:    sc.normalize(),
 		newTimer: func(d time.Duration) (<-chan time.Time, func() bool) {
 			t := time.NewTimer(d)
 			return t.C, t.Stop
 		},
 		rand64: splitmix64,
+		now:    time.Now,
 	}
 	for name, c := range cfgs {
 		a.tenants[name] = &tenant{name: name, cfg: c.normalize()}
@@ -177,10 +299,9 @@ func NewAdmission(def TenantConfig, cfgs map[string]TenantConfig, strict bool) *
 	return a
 }
 
-// tenant resolves (or lazily creates) a tenant's state.
-func (a *Admission) tenant(name string) (*tenant, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+// tenantLocked resolves (or lazily creates) a tenant's state; the caller
+// holds a.mu.
+func (a *Admission) tenantLocked(name string) (*tenant, error) {
 	t, ok := a.tenants[name]
 	if !ok {
 		if a.strict {
@@ -207,167 +328,233 @@ func (a *Admission) Config(name string) TenantConfig {
 	return a.defCfg
 }
 
+// refillLocked brings a tenant's quota bucket current: lazily filled to
+// capacity on first touch, then refilled at RefillPerSec up to capacity.
+func (a *Admission) refillLocked(t *tenant) {
+	now := a.now()
+	if !t.bktInit {
+		t.bktInit = true
+		t.tokens = t.cfg.bucketCap()
+		t.lastRefill = now
+		return
+	}
+	if t.cfg.RefillPerSec > 0 {
+		if dt := now.Sub(t.lastRefill); dt > 0 {
+			t.tokens = math.Min(t.cfg.bucketCap(), t.tokens+t.cfg.RefillPerSec*dt.Seconds())
+		}
+	}
+	t.lastRefill = now
+}
+
+// nextAdmitLocked is the time until the bucket holds a whole token (zero
+// when it already does, or when only a manual reset can help).
+func (a *Admission) nextAdmitLocked(t *tenant) time.Duration {
+	if t.tokens >= 1 || t.cfg.RefillPerSec <= 0 {
+		return 0
+	}
+	return time.Duration((1 - t.tokens) / t.cfg.RefillPerSec * float64(time.Second))
+}
+
 // Acquire admits one request for the named tenant, blocking in the
-// tenant's FIFO queue when its concurrency slots are taken. On success it
-// returns a release function the caller MUST invoke exactly once with the
-// request's oracle-call spend (0 for requests that never ran); on failure
-// it returns one of the Err* reasons. ctx aborts the queue wait.
+// tenant's queue when no slot is available. On success it returns a
+// release function the caller MUST invoke exactly once with the request's
+// oracle-call spend (0 for requests that never ran); on failure it
+// returns one of the Err* reasons. ctx aborts the queue wait. It is the
+// weight-1, cost-1, no-deadline form of AcquireGrant.
 func (a *Admission) Acquire(ctx context.Context, name string) (release func(oracleCalls int), err error) {
-	t, err := a.tenant(name)
+	g, err := a.AcquireGrant(ctx, AdmitRequest{Tenant: name})
 	if err != nil {
 		return nil, err
 	}
+	return g.Release, nil
+}
 
-	t.mu.Lock()
-	if t.cfg.CallQuota > 0 && t.quotaSpent >= t.cfg.CallQuota {
-		t.stats.RejectedQuota++
-		t.mu.Unlock()
-		return nil, ErrQuotaExhausted
+// AdmitRequest describes one request to the scheduler.
+type AdmitRequest struct {
+	// Tenant is the requesting tenant's name.
+	Tenant string
+	// Cost is the request's work estimate in query-count units (min 1):
+	// the DRR deficit charge, so a 64-query bulk request draws 64× the
+	// deficit of an interactive single query.
+	Cost int
+	// Deadline is the request's relative SLO deadline; 0 falls back to
+	// the tenant's DeadlineMS (and to "none" when that is 0 too).
+	Deadline time.Duration
+}
+
+// AcquireGrant admits one request under the scheduling policy, blocking
+// in the tenant's queue when no slot is available. The returned Grant
+// must be Released exactly once with the request's total oracle-call
+// spend; preemptible grants additionally expose PreemptRequested/Yield
+// (see sched.go). ctx aborts the queue wait.
+func (a *Admission) AcquireGrant(ctx context.Context, req AdmitRequest) (*Grant, error) {
+	a.mu.Lock()
+	t, err := a.tenantLocked(req.Tenant)
+	if err != nil {
+		a.mu.Unlock()
+		return nil, err
 	}
-	if t.active < t.cfg.MaxConcurrent {
-		t.active++
+	if t.cfg.CallQuota > 0 {
+		a.refillLocked(t)
+		if t.tokens <= 0 {
+			t.stats.RejectedQuota++
+			a.mu.Unlock()
+			return nil, ErrQuotaExhausted
+		}
+	}
+	g := &Grant{a: a, t: t, cost: math.Max(1, float64(req.Cost)), seq: a.nextSeqLocked()}
+	rel := req.Deadline
+	if rel == 0 && t.cfg.DeadlineMS > 0 {
+		rel = time.Duration(t.cfg.DeadlineMS) * time.Millisecond
+	}
+	if rel > 0 {
+		g.deadline = a.now().Add(rel)
+		g.hasDeadline = true
+	}
+	w := g.newWaiter(false)
+	a.enqueueLocked(w)
+	a.dispatchLocked()
+	if w.outcome == waiterGranted {
 		t.stats.Admitted++
-		t.mu.Unlock()
-		return t.release, nil
+		a.mu.Unlock()
+		return g, nil
 	}
-	if len(t.queue) >= t.cfg.QueueDepth {
+	if len(t.queue)-1 >= t.cfg.QueueDepth { // waiters besides w
+		a.removeWaiterLocked(w)
 		t.stats.RejectedQueueFull++
-		t.mu.Unlock()
+		a.mu.Unlock()
 		return nil, ErrQueueFull
 	}
-	w := &waiter{ch: make(chan struct{}), outcome: waiterPending}
-	t.queue = append(t.queue, w)
-	t.mu.Unlock()
+	a.maybePreemptLocked(w)
+	a.mu.Unlock()
 
 	timerC, stopTimer := a.newTimer(t.cfg.queueWait())
 	defer stopTimer()
+	var serr error
 	select {
 	case <-w.ch:
-		return t.settle(w, nil, nil)
+		serr = a.settle(w, nil, nil)
 	case <-timerC:
-		return t.settle(w, &t.stats.QueueTimeouts, ErrQueueTimeout)
+		serr = a.settle(w, &t.stats.QueueTimeouts, ErrQueueTimeout)
 	case <-ctx.Done():
-		return t.settle(w, &t.stats.Cancelled, ErrCancelled)
+		serr = a.settle(w, &t.stats.Cancelled, ErrCancelled)
 	}
+	if serr != nil {
+		return nil, serr
+	}
+	return g, nil
 }
 
-// settle resolves a waiter that woke up (slot handed over, queue cut on
-// quota exhaustion, timeout, or cancellation — the races between them are
-// decided here, under the tenant mutex). A still-pending waiter is
+func (a *Admission) nextSeqLocked() uint64 {
+	a.seq++
+	return a.seq
+}
+
+// settle resolves a waiter that woke up (slot granted, queue cut on quota
+// exhaustion, timeout, or cancellation — the races between them are
+// decided here, under the scheduler mutex). A still-pending waiter is
 // removed from the queue and rejected with reason; a granted one is
-// admitted even if its timer fired in the same instant (admission won the
+// admitted even if its timer fired in the same instant (the grant won the
 // race); a quota-cut one reports ErrQuotaExhausted, already counted at
 // the cut.
-func (t *tenant) settle(w *waiter, counter *int64, reason error) (func(int), error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+func (a *Admission) settle(w *waiter, counter *int64, reason error) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	switch w.outcome {
 	case waiterGranted:
-		t.stats.Admitted++
-		return t.release, nil
+		if !w.resume {
+			w.t.stats.Admitted++
+		}
+		return nil
 	case waiterQuotaCut:
-		return nil, ErrQuotaExhausted
+		return ErrQuotaExhausted
 	default: // still queued: remove and reject with the caller's reason.
 		// Unreachable from the ch-closed wakeup (an outcome is always set
 		// before ch closes), so counter/reason are non-nil here.
-		for i, q := range t.queue {
-			if q == w {
-				t.queue = append(t.queue[:i], t.queue[i+1:]...)
-				break
-			}
-		}
+		a.removeWaiterLocked(w)
 		if counter != nil {
 			*counter++
 		}
 		if reason == nil {
 			reason = ErrCancelled
 		}
-		return nil, reason
+		return reason
 	}
 }
 
-// release frees one slot, charging the quota with the request's actual
-// oracle-call spend. While quota remains, the slot is handed to the queue
-// head (FIFO); once the spend reaches the quota, the whole queue is cut —
-// waiting longer cannot help until an operator resets the quota, so the
-// queued requests are rejected now instead of burning their wait
-// deadline.
-func (t *tenant) release(oracleCalls int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.quotaSpent += int64(oracleCalls)
-	t.stats.Completed++
-	if t.cfg.CallQuota > 0 && t.quotaSpent >= t.cfg.CallQuota {
-		for _, w := range t.queue {
-			w.outcome = waiterQuotaCut
-			t.stats.RejectedQuota++
-			close(w.ch)
-		}
-		t.queue = t.queue[:0]
-		t.active--
-		return
-	}
-	if len(t.queue) > 0 {
-		w := t.queue[0]
-		t.queue = t.queue[1:]
-		w.outcome = waiterGranted
-		close(w.ch)
-		return // slot transferred; active count unchanged
-	}
-	t.active--
-}
-
-// ResetQuota zeroes the named tenant's cumulative oracle-call spend. It
-// reports false for tenants the controller has never seen.
+// ResetQuota refills the named tenant's quota bucket to capacity and
+// zeroes its recorded spend. It reports false for tenants the controller
+// has never seen.
 func (a *Admission) ResetQuota(name string) bool {
 	a.mu.Lock()
+	defer a.mu.Unlock()
 	t, ok := a.tenants[name]
-	a.mu.Unlock()
 	if !ok {
 		return false
 	}
-	t.mu.Lock()
 	t.quotaSpent = 0
-	t.mu.Unlock()
+	t.bktInit = true
+	t.tokens = t.cfg.bucketCap()
+	t.lastRefill = a.now()
 	return true
+}
+
+// Preemptions reports the total preemptions the scheduler has issued.
+func (a *Admission) Preemptions() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.preempts
 }
 
 // Stats snapshots every tenant's counters, keyed by tenant name.
 func (a *Admission) Stats() map[string]TenantStats {
 	a.mu.Lock()
-	ts := make([]*tenant, 0, len(a.tenants))
+	defer a.mu.Unlock()
+	out := make(map[string]TenantStats, len(a.tenants))
 	for _, t := range a.tenants {
-		ts = append(ts, t)
-	}
-	a.mu.Unlock()
-	out := make(map[string]TenantStats, len(ts))
-	for _, t := range ts {
-		t.mu.Lock()
 		s := t.stats
 		s.Active = t.active
 		s.Queued = len(t.queue)
 		s.QuotaSpent = t.quotaSpent
 		s.QuotaLimit = t.cfg.CallQuota
-		t.mu.Unlock()
+		s.Weight = t.cfg.weight()
+		s.RefillPerSec = t.cfg.RefillPerSec
+		if t.cfg.CallQuota > 0 {
+			a.refillLocked(t)
+			s.QuotaRemaining = t.tokens
+			s.NextAdmitMS = int64(math.Ceil(float64(a.nextAdmitLocked(t)) / float64(time.Millisecond)))
+		}
 		out[t.name] = s
 	}
 	return out
 }
 
-// RetryAfter suggests how long a rejected request should back off: the
-// tenant's queue-wait deadline for congestion, a minute for quota
-// exhaustion — jittered deterministically into [base/2, base] per tenant.
-// The jitter spreads one tenant's herd of simultaneous rejections over the
-// window instead of re-admitting it as a thundering spike, and it is a
-// pure function of (tenant, rejection ordinal): the k-th rejection of a
-// tenant always backs off by the same amount, so tests — and the router's
-// retry budget accounting — can predict the exact sequence.
+// RetryAfter suggests how long a rejected request should back off. Quota
+// exhaustion with a refill rate answers the exact time until a token is
+// available — the bucket is deterministic, so the client returns exactly
+// when it can be served. Otherwise: the tenant's queue-wait deadline for
+// congestion, a minute for manual-reset quota — jittered
+// deterministically into [base/2, base] per tenant. The jitter spreads
+// one tenant's herd of simultaneous rejections over the window instead of
+// re-admitting it as a thundering spike, and it is a pure function of
+// (tenant, rejection ordinal): the k-th rejection of a tenant always
+// backs off by the same amount, so tests — and the router's retry budget
+// accounting — can predict the exact sequence.
 func (a *Admission) RetryAfter(name string, reason error) time.Duration {
 	cfg := a.defCfg
 	var seq uint64
 	a.mu.Lock()
 	if t, ok := a.tenants[name]; ok {
 		cfg = t.cfg
+		if errors.Is(reason, ErrQuotaExhausted) && t.cfg.RefillPerSec > 0 {
+			a.refillLocked(t)
+			d := a.nextAdmitLocked(t)
+			a.mu.Unlock()
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			return d
+		}
 		seq = t.retrySeq.Add(1)
 	} else {
 		seq = a.retrySeq.Add(1)

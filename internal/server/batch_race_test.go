@@ -137,8 +137,9 @@ func TestBatchRaceStress(t *testing.T) {
 		ok, okMulti, rejected, faulted, disconnected int
 	}
 	var (
-		mu  sync.Mutex
-		sum tally
+		mu           sync.Mutex
+		sum          tally
+		discByTenant = make(map[string]int64)
 	)
 	var wg sync.WaitGroup
 	for ti := 0; ti < tenants; ti++ {
@@ -209,11 +210,25 @@ func TestBatchRaceStress(t *testing.T) {
 				sum.rejected += local.rejected
 				sum.faulted += local.faulted
 				sum.disconnected += local.disconnected
+				discByTenant[tenant] += int64(local.disconnected)
 				mu.Unlock()
 			}(wi)
 		}
 	}
 	wg.Wait()
+
+	// A disconnected client's Do returns at its 10ms deadline while the
+	// handler — and the shared run still serving the other members — drains
+	// on its own schedule. Wait for the admission ledger to quiesce before
+	// auditing it, or the reads below race the last releases.
+	waitFor(t, func() bool {
+		for _, a := range srv.Admission().Stats() {
+			if a.Active != 0 || a.Queued != 0 || a.Admitted != a.Completed {
+				return false
+			}
+		}
+		return true
+	})
 
 	total := tenants * workers * perWorker
 	if got := sum.ok + sum.rejected + sum.faulted + sum.disconnected; got != total {
@@ -270,9 +285,14 @@ func TestBatchRaceStress(t *testing.T) {
 		if a.Admitted != a.Completed {
 			t.Errorf("%s: admitted %d != completed %d", name, a.Admitted, a.Completed)
 		}
+		// A request whose client disconnected before the handler reached
+		// admission never touches the ledger, so disconnects widen the
+		// accounting into an interval: every request that got an HTTP
+		// response is accounted exactly once, and nothing is double-counted.
 		sent := int64(workers * perWorker)
-		if got := a.Admitted + a.RejectedQueueFull + a.QueueTimeouts + a.Cancelled; got != sent {
-			t.Errorf("%s: admitted+rejected+cancelled = %d, sent %d (%+v)", name, got, sent, a)
+		disc := discByTenant[name]
+		if got := a.Admitted + a.RejectedQueueFull + a.QueueTimeouts + a.Cancelled; got > sent || got < sent-disc {
+			t.Errorf("%s: admitted+rejected+cancelled = %d, want within [%d, %d] (%+v)", name, got, sent-disc, sent, a)
 		}
 	}
 	if want := int64(successTotals.OracleCalls + faultTotals.OracleCalls); spent != want {

@@ -7,9 +7,13 @@
 //	POST /v1/optimize  optimize one batch (workload spec or SQL payload);
 //	                   returns the materialization set, a plan summary and
 //	                   the full core.Telemetry of the run
-//	GET  /v1/stats     per-tenant admission counters, session-pool stats
-//	                   (live + retired aggregate), recovered-panic count,
-//	                   per-catalog breaker states
+//	GET  /v1/stats     per-tenant admission counters incl. quota-bucket
+//	                   refill state (quota_remaining, refill_per_sec,
+//	                   next_admit_ms), session-pool stats (live + retired
+//	                   aggregate), recovered-panic count, per-catalog
+//	                   breaker states
+//	POST /v1/tenants/{tenant}/reset  admin: refill the tenant's quota
+//	                   bucket to capacity and return its fresh stats
 //	GET  /healthz      200 while serving ("ok", or "degraded" with the
 //	                   non-closed breakers listed), 503 while draining
 //
@@ -20,16 +24,21 @@
 // tenant's admission gate before any optimizer work happens:
 //
 //   - Concurrency: at most MaxConcurrent requests of a tenant run at once.
-//   - Queueing: excess requests wait in a bounded FIFO queue of QueueDepth
-//     slots. A request whose queue wait exceeds QueueWait is rejected with
-//     503 and a Retry-After header; a request arriving at a full queue is
-//     rejected immediately with 429 and Retry-After. Freed slots are handed
-//     to the queue head, so admission order within a tenant is FIFO.
+//   - Queueing: excess requests wait in a bounded per-tenant queue of
+//     QueueDepth slots. A request whose queue wait exceeds QueueWait is
+//     rejected with 503 and a Retry-After header; a request arriving at a
+//     full queue is rejected immediately with 429 and Retry-After. Without
+//     a shared slot pool (SchedConfig.Slots == 0) freed slots are handed
+//     out in arrival order; with one, dispatch order is the scheduling
+//     policy's (below).
 //   - Quota: when CallQuota > 0, the tenant's completed requests are
-//     charged their actual Telemetry.OracleCalls; once the cumulative spend
-//     reaches the quota, further requests — including ones already waiting
-//     in the queue, whose wait could no longer help — are rejected with 429
-//     until the quota is reset (Admission.ResetQuota) or raised.
+//     charged their actual Telemetry.OracleCalls against a token bucket;
+//     a tenant whose bucket is empty is rejected with 429 and a
+//     Retry-After computed from the actual refill rate. With
+//     RefillPerSec == 0 the bucket is manual-reset-only (ResetQuota or
+//     the admin endpoint), and exhaustion also cuts the tenant's wait
+//     queue — queued requests get the 429 immediately instead of burning
+//     their deadline.
 //   - Budgets: TimeBudget and CallBudget cap each admitted request via
 //     repro.WithTimeBudget / WithOracleCallBudget. A request may ask for
 //     tighter budgets than the tenant's; looser ones are clamped to the
@@ -50,6 +59,58 @@
 // queue_timeout, tenant_overflow, unknown_tenant, draining, breaker_open,
 // resume_mismatch, internal_panic, internal_error) — clients dispatch on
 // the code; the human-readable "error" text is not contractual.
+//
+// # Scheduling and SLO-aware preemption
+//
+// With SchedConfig.Slots > 0 every tenant additionally competes for a
+// shared worker-slot pool, dispatched by SchedConfig.Policy:
+//
+//   - PolicyDRR (default) is deficit round-robin: a rotation pointer
+//     parks on one tenant, replenishes its deficit by Quantum×Weight once
+//     per visit, serves it while the deficit covers the head request's
+//     cost (its query count), then advances. Over any backlogged window
+//     each tenant's share of dispatched work is proportional to its
+//     Weight; a request costing more than one quantum accumulates deficit
+//     across rotations instead of starving or being starved.
+//   - Earliest-deadline-first cut-ahead: a waiter with a deadline (the
+//     request's deadline_ms, falling back to the tenant's DeadlineMS) may
+//     jump the round-robin order, borrowing up to one Quantum×Weight of
+//     deficit debt. The borrow bound keeps an SLO tenant from starving
+//     bulk tenants: past it, the deadline waiter falls back to weighted
+//     order until its deficit recovers. Deficits (debts and credits
+//     alike) expire when a tenant's queue drains — fairness is over busy
+//     periods, not eternity.
+//   - PolicyFIFO dispatches strictly in global arrival order and ignores
+//     weights and deadlines — the baseline the CI fairness gate measures
+//     DRR against.
+//
+// Unless SchedConfig.NoPreempt is set, a deadline waiter that cannot be
+// dispatched picks one running preemptible victim — the grant with the
+// latest deadline, deadline-less bulk work first — and asks it to
+// suspend. The victim's run stops at its next greedy round boundary with
+// a checkpoint, yields its slot (the freed slot goes to the
+// earliest-deadline waiter), re-enters its tenant's queue at its
+// original arrival position — ahead of later arrivals — and resumes
+// transparently via the checkpoint when re-granted. The client sees one
+// ordinary 200 whose "preemptions" field counts the suspensions. If
+// re-granting exceeds the tenant's queue wait, the client instead gets
+// the completed-prefix response with Stopped "preempted" and a resumable
+// checkpoint — the same contract as a budget stop.
+//
+// What preemption conserves, exactly and approximately:
+//
+//   - The result — materialization set, cost, volcano cost, benefit —
+//     plus Rounds and Pruned are bit-identical to the unpreempted run,
+//     however many times the run was suspended. The CI fairness gate and
+//     the preemption suites pin this.
+//   - Telemetry.OracleCalls grows by exactly one per resumed segment: the
+//     continuation re-derives the committed selection's value against a
+//     fresh per-run memo. A response's total spend is therefore the
+//     unpreempted run's calls + its Preemptions count.
+//   - The tenant's quota is charged the response's actual merged
+//     OracleCalls — charge and report always agree.
+//   - BCCalls and CacheHits are NOT conserved: segments re-enter the
+//     session's shared cost cache with whatever warmth it has by then.
 //
 // # Continuous batching
 //
@@ -150,5 +211,8 @@
 // strategy and parallelism, the response's materialization set, costs and
 // oracle-call telemetry are bit-identical to a direct Session.Optimize
 // call (the session's shared cost cache can only add SharedHits, never
-// change a result). The e2e tests pin this byte-for-byte.
+// change a result). The e2e tests pin this byte-for-byte. Under
+// preemption the result stays bit-identical and only OracleCalls moves,
+// by exactly the response's Preemptions count (one re-derivation per
+// resumed segment — see the scheduling section).
 package server

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Scheduling policies.
+const (
+	// PolicyDRR is deficit-round-robin weighted-fair dispatch with
+	// earliest-deadline-first cut-ahead and deadline-aware preemption.
+	PolicyDRR = "drr"
+	// PolicyFIFO dispatches in pure global arrival order (the baseline
+	// the fairness harness compares DRR against); no cut-ahead, no
+	// preemption.
+	PolicyFIFO = "fifo"
+)
+
+// SchedConfig parameterizes the scheduler policy layer over the shared
+// worker-slot pool. The zero value has no shared slots, so only the
+// per-tenant limits bind — the legacy per-tenant FIFO behavior.
+type SchedConfig struct {
+	// Slots is the shared worker-slot pool all tenants compete for
+	// (0 = unbounded: per-tenant MaxConcurrent alone limits concurrency).
+	Slots int `json:"slots,omitempty"`
+	// Quantum is the DRR deficit replenished per round-robin visit, in
+	// query-count cost units, multiplied by the tenant's Weight (default
+	// 64). Smaller quanta interleave tenants more finely; larger ones
+	// amortize bulk requests.
+	Quantum int `json:"quantum,omitempty"`
+	// Policy selects the dispatch order: PolicyDRR (default) or
+	// PolicyFIFO.
+	Policy string `json:"policy,omitempty"`
+	// NoPreempt disables deadline-aware preemption while keeping DRR
+	// dispatch.
+	NoPreempt bool `json:"no_preempt,omitempty"`
+}
+
+func (c SchedConfig) normalize() SchedConfig {
+	if c.Quantum <= 0 {
+		c.Quantum = 64
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyDRR
+	}
+	return c
+}
+
+// Grant is an admitted request's hold on the scheduler: a slot, a quota
+// charge pending, and — when the run is preemptible — the suspend/resume
+// handshake. Release must be called exactly once; Yield only from the
+// goroutine that owns the run, after its optimizer stopped with
+// StopPreempted.
+type Grant struct {
+	a           *Admission
+	t           *tenant
+	cost        float64
+	seq         uint64
+	deadline    time.Time
+	hasDeadline bool
+
+	// preempt is the scheduler's suspend request; the run polls it at
+	// round boundaries (repro.WithPreemptSignal).
+	preempt atomic.Bool
+	// preemptible marks the run suspendable: a solo run under a
+	// resumable strategy. Only preemptible grants are chosen as victims.
+	preemptible atomic.Bool
+
+	// Guarded by a.mu.
+	holding     bool // currently holds a slot
+	released    bool
+	preemptions int
+}
+
+// newWaiter builds the queue entry for this grant; a resumption keeps the
+// grant's original seq so it re-enters ahead of later arrivals.
+func (g *Grant) newWaiter(resume bool) *waiter {
+	return &waiter{
+		ch:          make(chan struct{}),
+		t:           g.t,
+		g:           g,
+		seq:         g.seq,
+		cost:        g.cost,
+		deadline:    g.deadline,
+		hasDeadline: g.hasDeadline,
+		resume:      resume,
+	}
+}
+
+// PreemptRequested reports whether the scheduler asked this run to
+// suspend; it is the signal handed to repro.WithPreemptSignal, polled at
+// round boundaries.
+func (g *Grant) PreemptRequested() bool { return g.preempt.Load() }
+
+// SetPreemptible marks the grant's run suspendable at round boundaries
+// (set it only for solo runs under a checkpoint-capable strategy).
+func (g *Grant) SetPreemptible(on bool) { g.preemptible.Store(on) }
+
+// Preemptions reports how many times this grant's run was suspended.
+func (g *Grant) Preemptions() int {
+	g.a.mu.Lock()
+	defer g.a.mu.Unlock()
+	return g.preemptions
+}
+
+// Yield gives the grant's slot back after its run suspended at a round
+// boundary, lets the scheduler serve the nearer-deadline work that asked
+// for it, and blocks until the scheduler re-grants a slot for the resumed
+// run (which re-enters its tenant's queue at its original arrival order).
+// A nil return means the slot is held again and the caller should resume
+// from its checkpoint; ErrQueueTimeout/ErrCancelled mean the caller keeps
+// its checkpoint and must still Release the grant with the spend so far.
+func (g *Grant) Yield(ctx context.Context) error {
+	a := g.a
+	a.mu.Lock()
+	if !g.holding {
+		a.mu.Unlock()
+		return nil
+	}
+	g.holding = false
+	g.preempt.Store(false)
+	g.preemptions++
+	g.t.stats.Preemptions++
+	a.preempts++
+	g.t.active--
+	a.running--
+	a.dropActiveLocked(g)
+	w := g.newWaiter(true)
+	a.enqueueLocked(w)
+	a.dispatchLocked()
+	if w.outcome == waiterGranted {
+		a.mu.Unlock()
+		return nil
+	}
+	a.mu.Unlock()
+
+	timerC, stopTimer := a.newTimer(g.t.cfg.queueWait())
+	defer stopTimer()
+	select {
+	case <-w.ch:
+		return a.settle(w, nil, nil)
+	case <-timerC:
+		return a.settle(w, &g.t.stats.QueueTimeouts, ErrQueueTimeout)
+	case <-ctx.Done():
+		return a.settle(w, &g.t.stats.Cancelled, ErrCancelled)
+	}
+}
+
+// Release frees the grant's slot (if still held), charges the tenant's
+// quota bucket with the run's actual oracle-call spend, and dispatches
+// queued work. Exactly-once: extra calls are no-ops. With a non-refilling
+// quota that the charge just exhausted, the tenant's whole wait queue is
+// cut — waiting cannot help until an operator resets the bucket, so the
+// queued requests are rejected now instead of burning their wait
+// deadline. (A refilling bucket keeps its queue: waiting does help.)
+func (g *Grant) Release(oracleCalls int) {
+	a := g.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if g.released {
+		return
+	}
+	g.released = true
+	t := g.t
+	t.quotaSpent += int64(oracleCalls)
+	if t.cfg.CallQuota > 0 {
+		a.refillLocked(t)
+		t.tokens -= float64(oracleCalls)
+	}
+	t.stats.Completed++
+	if g.holding {
+		g.holding = false
+		t.active--
+		a.running--
+		a.dropActiveLocked(g)
+	}
+	if t.cfg.CallQuota > 0 && t.cfg.RefillPerSec <= 0 && t.tokens <= 0 {
+		for _, w := range t.queue {
+			w.outcome = waiterQuotaCut
+			t.stats.RejectedQuota++
+			close(w.ch)
+		}
+		t.queue = t.queue[:0]
+		a.dropRingLocked(t)
+		t.deficit = 0
+	}
+	a.dispatchLocked()
+}
+
+// enqueueLocked inserts a waiter into its tenant's queue in policy order
+// and registers the tenant in the DRR ring. Under DRR the queue is
+// EDF-then-FIFO: deadline waiters first, earliest deadline first (ties by
+// arrival), then deadline-less waiters in arrival order — a resumption's
+// original seq puts it ahead of later arrivals. Under FIFO the queue is
+// pure arrival order.
+func (a *Admission) enqueueLocked(w *waiter) {
+	t := w.t
+	pos := len(t.queue)
+	if a.sched.Policy == PolicyFIFO {
+		for pos = 0; pos < len(t.queue); pos++ {
+			if w.seq < t.queue[pos].seq {
+				break
+			}
+		}
+	} else if w.hasDeadline {
+		for pos = 0; pos < len(t.queue); pos++ {
+			q := t.queue[pos]
+			if !q.hasDeadline || w.deadline.Before(q.deadline) ||
+				(w.deadline.Equal(q.deadline) && w.seq < q.seq) {
+				break
+			}
+		}
+	} else {
+		for pos = 0; pos < len(t.queue); pos++ {
+			q := t.queue[pos]
+			if q.hasDeadline {
+				continue // the deadline prefix stays ahead
+			}
+			if w.seq < q.seq {
+				break
+			}
+		}
+	}
+	t.queue = append(t.queue, nil)
+	copy(t.queue[pos+1:], t.queue[pos:])
+	t.queue[pos] = w
+	if !t.inRing {
+		t.inRing = true
+		a.ring = append(a.ring, t)
+	}
+}
+
+// removeWaiterLocked takes a waiter out of its tenant's queue (timeout,
+// cancellation, or queue-full rejection).
+func (a *Admission) removeWaiterLocked(w *waiter) {
+	t := w.t
+	for i, q := range t.queue {
+		if q == w {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			break
+		}
+	}
+	if len(t.queue) == 0 {
+		a.dropRingLocked(t)
+		t.deficit = 0
+	}
+}
+
+// dropRingLocked removes a tenant from the DRR ring, keeping the rotation
+// pointer on the same neighbor. Removing the pointed-at tenant clears the
+// visit's topped flag: the pointer now names a tenant that has not had
+// this rotation's replenish yet.
+func (a *Admission) dropRingLocked(t *tenant) {
+	if !t.inRing {
+		return
+	}
+	t.inRing = false
+	for i, rt := range a.ring {
+		if rt == t {
+			a.ring = append(a.ring[:i], a.ring[i+1:]...)
+			if i < a.ringIdx {
+				a.ringIdx--
+			} else if i == a.ringIdx {
+				a.topped = false
+			}
+			break
+		}
+	}
+	if len(a.ring) == 0 {
+		a.ringIdx = 0
+	} else if a.ringIdx >= len(a.ring) {
+		a.ringIdx = 0
+	}
+}
+
+// dropActiveLocked removes a grant from the running set.
+func (a *Admission) dropActiveLocked(g *Grant) {
+	for i, ag := range a.activeG {
+		if ag == g {
+			a.activeG = append(a.activeG[:i], a.activeG[i+1:]...)
+			return
+		}
+	}
+}
+
+// dispatchLocked grants slots to queued waiters until the pool is
+// saturated or nothing is eligible. Every path that frees capacity
+// (Release, Yield) or adds demand (AcquireGrant) calls it under the
+// scheduler mutex, so no waiter is ever stranded with a free slot.
+func (a *Admission) dispatchLocked() {
+	for {
+		if a.sched.Slots > 0 && a.running >= a.sched.Slots {
+			return
+		}
+		w := a.pickLocked()
+		if w == nil {
+			return
+		}
+		a.grantLocked(w)
+	}
+}
+
+// pickLocked chooses the next waiter to grant, or nil.
+func (a *Admission) pickLocked() *waiter {
+	if a.sched.Slots <= 0 || a.sched.Policy == PolicyFIFO {
+		return a.pickSeqLocked()
+	}
+	return a.pickDRRLocked()
+}
+
+// eligibleHead is a tenant's next dispatchable waiter: the queue head,
+// when the tenant is under its own concurrency cap.
+func eligibleHead(t *tenant) *waiter {
+	if len(t.queue) == 0 || t.active >= t.cfg.MaxConcurrent {
+		return nil
+	}
+	return t.queue[0]
+}
+
+// pickSeqLocked dispatches in global arrival order — the uncontended
+// (Slots == 0) and FIFO-policy order. With per-tenant queues already
+// sorted, the minimum head seq across tenants is the global minimum.
+func (a *Admission) pickSeqLocked() *waiter {
+	var best *waiter
+	for _, t := range a.ring {
+		h := eligibleHead(t)
+		if h == nil {
+			continue
+		}
+		if best == nil || h.seq < best.seq {
+			best = h
+		}
+	}
+	return best
+}
+
+// pickDRRLocked is the weighted-fair pick: first earliest-deadline-first
+// cut-ahead across tenants — a deadline waiter may borrow up to one
+// quantum×weight of deficit debt to jump the round-robin order — then
+// classic deficit round-robin: the rotation pointer parks on one tenant,
+// replenishes its deficit by quantum×weight ONCE per visit (the topped
+// flag), serves it while the deficit covers its head's cost, and only
+// then advances — so over any backlogged window each tenant's service is
+// proportional to its weight, and a large request just accumulates
+// deficit across rotations instead of starving or being starved.
+func (a *Admission) pickDRRLocked() *waiter {
+	var best *waiter
+	for _, t := range a.ring {
+		h := eligibleHead(t)
+		if h == nil || !h.hasDeadline {
+			continue
+		}
+		if t.deficit <= -float64(a.sched.Quantum*t.cfg.weight()) {
+			continue // borrow exhausted: back to weighted order
+		}
+		if best == nil || h.deadline.Before(best.deadline) ||
+			(h.deadline.Equal(best.deadline) && h.seq < best.seq) {
+			best = h
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for {
+		n := len(a.ring)
+		if n == 0 {
+			return nil
+		}
+		progressed := false
+		for i := 0; i < n; i++ {
+			t := a.ring[a.ringIdx]
+			h := eligibleHead(t)
+			if h != nil {
+				if !a.topped {
+					a.topped = true
+					t.deficit += float64(a.sched.Quantum * t.cfg.weight())
+					progressed = true
+				}
+				if t.deficit >= h.cost {
+					return h // sticky: the pointer stays until the deficit runs dry
+				}
+				// Leaving a topped tenant ends its visit — that is progress
+				// too: the next pass may replenish it afresh. Without this a
+				// lone tenant whose visit just drained would stall forever.
+				if a.topped {
+					progressed = true
+				}
+			}
+			a.ringIdx = (a.ringIdx + 1) % n
+			a.topped = false
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// grantLocked hands a slot to a waiter: removes it from its queue,
+// charges its cost against the tenant's deficit, and wakes it. The
+// waiter's own goroutine does the admission bookkeeping (settle).
+func (a *Admission) grantLocked(w *waiter) {
+	t := w.t
+	for i, q := range t.queue {
+		if q == w {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			break
+		}
+	}
+	t.deficit -= w.cost
+	if len(t.queue) == 0 {
+		a.dropRingLocked(t)
+		t.deficit = 0 // busy period over: debts and credits expire together
+	}
+	t.active++
+	a.running++
+	w.outcome = waiterGranted
+	w.g.holding = true
+	a.activeG = append(a.activeG, w.g)
+	close(w.ch)
+}
+
+// maybePreemptLocked asks a running bulk grant to suspend when a
+// nearer-deadline waiter cannot be dispatched: the victim is the
+// preemptible running grant with the latest deadline (no deadline ranks
+// last of all; ties go to the longest-running, which has the most
+// checkpointed progress). One victim per waiter — the suspend lands at
+// the victim's next round boundary, the victim Yields, and the freed slot
+// dispatches to the earliest-deadline waiter.
+func (a *Admission) maybePreemptLocked(w *waiter) {
+	if a.sched.Slots <= 0 || a.sched.NoPreempt || a.sched.Policy != PolicyDRR {
+		return
+	}
+	if !w.hasDeadline || w.preemptAsked || a.running < a.sched.Slots {
+		return
+	}
+	var victim *Grant
+	for _, g := range a.activeG {
+		if !g.preemptible.Load() || g.preempt.Load() {
+			continue
+		}
+		if g.hasDeadline && !g.deadline.After(w.deadline) {
+			continue // running work is at least as urgent
+		}
+		if victim == nil || laterVictim(g, victim) {
+			victim = g
+		}
+	}
+	if victim != nil {
+		victim.preempt.Store(true)
+		w.preemptAsked = true
+	}
+}
+
+// laterVictim reports whether g is a better preemption victim than cur:
+// deadline-less beats deadlined, later deadline beats earlier, then the
+// longest-running (smallest seq — the most checkpointed progress to
+// preserve) breaks ties.
+func laterVictim(g, cur *Grant) bool {
+	switch {
+	case !g.hasDeadline && cur.hasDeadline:
+		return true
+	case g.hasDeadline && !cur.hasDeadline:
+		return false
+	case g.hasDeadline && cur.hasDeadline && !g.deadline.Equal(cur.deadline):
+		return g.deadline.After(cur.deadline)
+	default:
+		return g.seq < cur.seq
+	}
+}

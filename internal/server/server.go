@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"slices"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +53,12 @@ type Config struct {
 	// Batch parameterizes cross-request continuous batching; the zero
 	// value disables it and every request is served solo.
 	Batch BatchConfig
+	// Sched parameterizes the scheduler policy layer over a shared
+	// worker-slot pool: deficit-round-robin weighted-fair dispatch,
+	// deadline-aware cut-ahead and preemption (see SchedConfig). The zero
+	// value has no shared slots, which keeps the legacy behavior of
+	// per-tenant limits alone.
+	Sched SchedConfig
 	// Logger receives request-level diagnostics; nil discards them.
 	Logger *log.Logger
 }
@@ -82,6 +89,7 @@ func (c Config) normalize() Config {
 	if c.Batch.Enabled {
 		c.Batch = c.Batch.normalize()
 	}
+	c.Sched = c.Sched.normalize()
 	return c
 }
 
@@ -114,7 +122,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.normalize()
 	s := &Server{
 		cfg:     cfg,
-		adm:     NewAdmission(cfg.DefaultTenant, cfg.Tenants, cfg.StrictTenants),
+		adm:     NewScheduler(cfg.DefaultTenant, cfg.Tenants, cfg.StrictTenants, cfg.Sched),
 		pool:    newSessionPool(cfg.PoolSize),
 		breaker: newBreaker(cfg.Breaker),
 		started: time.Now(),
@@ -148,6 +156,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/reset", s.handleTenantReset)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/cache/snapshot", s.handleSnapshotGet)
 	mux.HandleFunc("PUT /v1/cache/snapshot", s.handleSnapshotPut)
@@ -247,6 +256,28 @@ func tenantOf(r *http.Request, req *OptimizeRequest) string {
 		return req.Tenant
 	}
 	return "default"
+}
+
+// requestCost estimates a request's scheduling cost in query-count units
+// before its batch is built: the spec's query count, or the statement
+// count of the SQL payload. The DRR deficit charge scales with it, so a
+// 64-query bulk request draws 64× the deficit of a single-query one.
+func requestCost(req *OptimizeRequest) int {
+	if req.Spec != nil {
+		return req.Spec.Queries
+	}
+	return strings.Count(req.SQL, ";") + 1
+}
+
+// preemptibleStrategy reports whether a strategy checkpoints at round
+// boundaries, which is what makes its solo runs safe to suspend and
+// resume bit-identically.
+func preemptibleStrategy(s core.Strategy) bool {
+	switch s {
+	case core.Greedy, core.LazyGreedyStrategy, core.MarginalGreedy, core.LazyMarginalGreedy:
+		return true
+	}
+	return false
 }
 
 // maxTenantNameLen bounds tenant names: they become map keys, stats keys
@@ -350,21 +381,6 @@ func (rs runSpec) options() []repro.Option {
 	return opts
 }
 
-// optimizeOptions maps the request and its tenant's caps onto Session
-// options for the solo path (resume requests keep their checkpoint's
-// algorithm). It returns the options plus the strategy name the response
-// reports.
-func optimizeOptions(req *OptimizeRequest, cfg TenantConfig, deg *BreakerConfig) ([]repro.Option, string) {
-	rs := effectiveSpec(req, cfg, deg)
-	opts := rs.options()
-	name := rs.strategy.String()
-	if req.Resume != nil {
-		opts = append(opts, repro.WithResume(req.Resume))
-		name = req.Resume.State.Algorithm // non-nil State: decode-validated
-	}
-	return opts, name
-}
-
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is draining", 5*time.Second)
@@ -394,7 +410,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 
 	queuedAt := time.Now()
-	release, err := s.adm.Acquire(ctx, tenantName)
+	g, err := s.adm.AcquireGrant(ctx, AdmitRequest{
+		Tenant:   tenantName,
+		Cost:     requestCost(req),
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+	})
 	if err != nil {
 		s.rejected(w, tenantName, err)
 		return
@@ -403,7 +423,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// Charge the admission slot and the tenant quota exactly once, with
 	// whatever the run actually spent.
 	spent := 0
-	defer func() { release(spent) }()
+	defer func() { g.Release(spent) }()
 
 	if s.preOptimize != nil {
 		s.preOptimize(ctx, req)
@@ -485,37 +505,92 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	opts, stratName := optimizeOptions(req, tenantCfg, degCfg)
-	res, err := sess.Optimize(ctx, batch, opts...)
-	if err != nil {
-		var fe *repro.FaultError
-		switch {
-		case errors.As(err, &fe):
-			// A worker panic was recovered inside the optimizer: answer
-			// with an incident id (plus any resumable state the run had
-			// committed), quarantine the session, and charge the tenant
-			// for the work the faulted run did burn.
-			id := s.incident()
-			s.panics.Add(1)
-			s.pool.quarantine(key, sess)
-			s.breaker.recordFailure(key)
-			s.logf("server: %s: optimization faulted (incident %s): %v", tenantName, id, fe.Panic)
-			spent = fe.Telemetry.OracleCalls
-			writeJSON(w, http.StatusInternalServerError, errorBody{
-				Error:      "optimization faulted (incident " + id + ")",
-				Code:       codeInternalPanic,
-				Incident:   id,
-				Checkpoint: fe.Checkpoint,
-			})
-		case errors.Is(err, repro.ErrResumeMismatch):
-			writeError(w, http.StatusConflict, codeResumeMismatch, err.Error(), 0)
-		default:
-			// NewOptimizer rejects batches that are invalid against the
-			// catalog (unknown tables/columns, malformed predicates): the
-			// request's fault, not the server's.
-			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
+	rs := effectiveSpec(req, tenantCfg, degCfg)
+	stratName := rs.strategy.String()
+	resume := req.Resume
+	if resume != nil {
+		stratName = resume.State.Algorithm // non-nil State: decode-validated
+	}
+	// A solo run under a checkpoint-capable strategy is preemptible: the
+	// scheduler may ask it to suspend at its next round boundary to serve a
+	// nearer-deadline request, after which the handler yields the slot,
+	// waits for a re-grant and resumes from the checkpoint. Segment
+	// telemetry is merged so the response — and the quota charge — account
+	// the run's work exactly once across the suspensions.
+	preemptible := resume != nil || preemptibleStrategy(rs.strategy)
+	var segs []repro.Telemetry
+	var res *repro.RunResult
+	for {
+		runOpts := rs.options()
+		if resume != nil {
+			runOpts = append(runOpts, repro.WithResume(resume))
 		}
-		return
+		if preemptible {
+			g.SetPreemptible(true)
+			runOpts = append(runOpts, repro.WithPreemptSignal(g.PreemptRequested))
+		}
+		res, err = sess.Optimize(ctx, batch, runOpts...)
+		if err != nil {
+			g.SetPreemptible(false)
+			for _, t := range segs {
+				spent += t.OracleCalls
+			}
+			var fe *repro.FaultError
+			switch {
+			case errors.As(err, &fe):
+				// A worker panic was recovered inside the optimizer: answer
+				// with an incident id (plus any resumable state the run had
+				// committed), quarantine the session, and charge the tenant
+				// for the work the faulted run did burn.
+				id := s.incident()
+				s.panics.Add(1)
+				s.pool.quarantine(key, sess)
+				s.breaker.recordFailure(key)
+				s.logf("server: %s: optimization faulted (incident %s): %v", tenantName, id, fe.Panic)
+				spent += fe.Telemetry.OracleCalls
+				writeJSON(w, http.StatusInternalServerError, errorBody{
+					Error:      "optimization faulted (incident " + id + ")",
+					Code:       codeInternalPanic,
+					Incident:   id,
+					Checkpoint: fe.Checkpoint,
+				})
+			case errors.Is(err, repro.ErrResumeMismatch):
+				writeError(w, http.StatusConflict, codeResumeMismatch, err.Error(), 0)
+			default:
+				// NewOptimizer rejects batches that are invalid against the
+				// catalog (unknown tables/columns, malformed predicates): the
+				// request's fault, not the server's.
+				writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
+			}
+			return
+		}
+		if res.Telemetry.Stopped != repro.StopPreempted {
+			break
+		}
+		// Suspended at a round boundary. A nil checkpoint means the
+		// strategy was in a non-checkpointable phase: it still yields, but
+		// restarts from the original request afterwards and stops
+		// volunteering as a victim (the burned segment stays charged).
+		if res.Checkpoint == nil {
+			preemptible = false
+			g.SetPreemptible(false)
+			resume = req.Resume
+		} else {
+			resume = res.Checkpoint
+		}
+		if yerr := g.Yield(ctx); yerr != nil {
+			// No re-grant (queue-wait timeout or the client left): stop
+			// here. The suspended segment's committed prefix plus its
+			// checkpoint is exactly the shape of a budget stop, so it
+			// falls through to the normal response.
+			s.logf("server: %s: preempted run not resumed: %v", tenantName, yerr)
+			break
+		}
+		segs = append(segs, res.Telemetry)
+	}
+	g.SetPreemptible(false)
+	if len(segs) > 0 {
+		res.Telemetry = repro.MergeSegments(append(segs, res.Telemetry))
 	}
 	spent = res.Telemetry.OracleCalls
 	// A deadline stop is a breaker failure — a catalog that cannot finish
@@ -542,6 +617,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		QueueWaitNS:  queueWait.Nanoseconds(),
 		Checkpoint:   res.Checkpoint,
 		Degraded:     degraded,
+		Preemptions:  g.Preemptions(),
 	}
 	for _, g := range res.Materialized {
 		resp.Materialized = append(resp.Materialized, int(g))
@@ -606,6 +682,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RetiredCount:    retiredCount,
 		Breakers:        s.breaker.snapshot(),
 	})
+}
+
+// TenantResetResponse is the body of POST /v1/tenants/{tenant}/reset.
+type TenantResetResponse struct {
+	Tenant string      `json:"tenant"`
+	Stats  TenantStats `json:"stats"`
+}
+
+// handleTenantReset is the operator's quota reset: it refills the named
+// tenant's token bucket to capacity and zeroes its recorded spend, then
+// reports the tenant's post-reset counters.
+func (s *Server) handleTenantReset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	if !validTenantName(name) {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("tenant name must be 1..%d printable non-space ASCII characters", maxTenantNameLen), 0)
+		return
+	}
+	if !s.adm.ResetQuota(name) {
+		writeError(w, http.StatusNotFound, codeTenantNotFound,
+			"tenant "+name+" has no admission state to reset", 0)
+		return
+	}
+	s.logf("server: %s: quota reset", name)
+	writeJSON(w, http.StatusOK, &TenantResetResponse{Tenant: name, Stats: s.adm.Stats()[name]})
 }
 
 // healthzResponse is the body of GET /healthz.

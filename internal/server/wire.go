@@ -45,6 +45,12 @@ type OptimizeRequest struct {
 	// TimeBudgetMS caps the optimization wall clock; clamped to the
 	// tenant's TimeBudgetMS when that is set.
 	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
+	// DeadlineMS is the request's relative SLO deadline for scheduling:
+	// deadline requests are served earliest-deadline-first, may cut ahead
+	// of other tenants within their DRR deficit, and may preempt a running
+	// preemptible request whose deadline is later or absent. 0 falls back
+	// to the tenant's DeadlineMS (and to "no deadline" when that is 0 too).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// OracleCallBudget caps the memoized-distinct oracle calls; 0 is
 	// meaningful (forbid all calls — the strategies return the empty set),
 	// hence the pointer. Clamped to the tenant's CallBudget when set.
@@ -97,6 +103,9 @@ func (r *OptimizeRequest) validate(maxQueries int) error {
 	}
 	if r.TimeBudgetMS < 0 {
 		return fmt.Errorf("time_budget_ms must be ≥ 0, got %d", r.TimeBudgetMS)
+	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms must be ≥ 0, got %d", r.DeadlineMS)
 	}
 	if r.OracleCallBudget != nil && *r.OracleCallBudget < 0 {
 		return fmt.Errorf("oracle_call_budget must be ≥ 0, got %d", *r.OracleCallBudget)
@@ -162,6 +171,10 @@ type OptimizeResponse struct {
 	// Degraded marks a run served under the catalog's circuit breaker:
 	// clamped budgets and the LazyGreedy fallback strategy.
 	Degraded bool `json:"degraded,omitempty"`
+	// Preemptions counts how many times this run was suspended at a round
+	// boundary to serve nearer-deadline work, then transparently resumed;
+	// Telemetry is the conserving merge of all its segments.
+	Preemptions int `json:"preemptions,omitempty"`
 	// Batched marks a response served by the continuous-batching
 	// scheduler: the run was shared with BatchSize requests and this
 	// response is the request's attributed slice of it. Telemetry is the
@@ -251,6 +264,9 @@ const (
 	codeTenantOverflow = "tenant_overflow"
 	codeQueueTimeout   = "queue_timeout"
 	codeUnknownTenant  = "unknown_tenant"
+	// codeTenantNotFound: POST /v1/tenants/{name}/reset named a tenant the
+	// admission controller holds no state for.
+	codeTenantNotFound = "tenant_not_found"
 	codeDraining       = "draining"
 	codeBreakerOpen    = "breaker_open"
 	codeResumeMismatch = "resume_mismatch"

@@ -3,6 +3,7 @@ package submod
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 )
 
@@ -23,7 +24,18 @@ const (
 	// StopPanic: the oracle recovered a panic mid-batch; the run stopped on
 	// the committed prefix and the fault is available via Oracle.Fault.
 	StopPanic
+	// StopPreempted: a scheduler suspended the run at a round boundary by
+	// cancelling its context with ErrPreempted as the cause. The run's
+	// checkpoint resumes it bit-identically; preemption is a yield, not a
+	// failure.
+	StopPreempted
 )
+
+// ErrPreempted is the cancellation cause a scheduler uses to suspend a run
+// at its next round boundary. Cancelling a run's context via
+// context.WithCancelCause(...) with this cause makes the stop classify as
+// StopPreempted instead of StopCancelled.
+var ErrPreempted = errors.New("submod: run preempted")
 
 // String implements fmt.Stringer.
 func (r StopReason) String() string {
@@ -38,6 +50,8 @@ func (r StopReason) String() string {
 		return "call-budget"
 	case StopPanic:
 		return "panic"
+	case StopPreempted:
+		return "preempted"
 	default:
 		return "unknown"
 	}
@@ -56,6 +70,8 @@ func ParseStopReason(s string) (StopReason, error) {
 		return StopCallBudget, nil
 	case "panic":
 		return StopPanic, nil
+	case "preempted":
+		return StopPreempted, nil
 	}
 	return 0, fmt.Errorf("submod: unknown stop reason %q", s)
 }
@@ -168,7 +184,7 @@ func (o *Oracle) stopReason() StopReason {
 		return c.reason
 	}
 	if c.Ctx != nil {
-		c.reason = CtxStopReason(c.Ctx.Err())
+		c.reason = ctxStopReason(c.Ctx)
 	}
 	if c.reason == StopNone && c.HasMaxCalls && o.Calls >= c.MaxCalls {
 		c.reason = StopCallBudget
@@ -177,17 +193,34 @@ func (o *Oracle) stopReason() StopReason {
 }
 
 // CtxStopReason classifies a context error as a stop reason: nil maps to
-// StopNone, a deadline to StopTimeBudget, anything else to StopCancelled.
-// It is the single classification rule for every budget check.
+// StopNone, a deadline to StopTimeBudget, ErrPreempted (a cancellation
+// cause, surfaced via context.Cause) to StopPreempted, anything else to
+// StopCancelled. It is the single classification rule for every budget
+// check.
 func CtxStopReason(err error) StopReason {
-	switch err {
-	case nil:
+	switch {
+	case err == nil:
 		return StopNone
-	case context.DeadlineExceeded:
+	case errors.Is(err, context.DeadlineExceeded):
 		return StopTimeBudget
+	case errors.Is(err, ErrPreempted):
+		return StopPreempted
 	default:
 		return StopCancelled
 	}
+}
+
+// ctxStopReason classifies a done context, preferring its cancellation
+// cause (which carries ErrPreempted for scheduler preemption) over the
+// bare Err.
+func ctxStopReason(ctx context.Context) StopReason {
+	if ctx.Err() == nil {
+		return StopNone
+	}
+	if cause := context.Cause(ctx); cause != nil {
+		return CtxStopReason(cause)
+	}
+	return CtxStopReason(ctx.Err())
 }
 
 // ctxCancelled reports whether the context alone is done (the mid-batch
@@ -199,7 +232,7 @@ func (o *Oracle) ctxCancelled() bool {
 		return false
 	}
 	if c.reason == StopNone {
-		c.reason = CtxStopReason(c.Ctx.Err())
+		c.reason = ctxStopReason(c.Ctx)
 	}
 	return true
 }

@@ -32,7 +32,13 @@ const (
 	StopTimeBudget = submod.StopTimeBudget
 	StopCallBudget = submod.StopCallBudget
 	StopPanic      = submod.StopPanic
+	StopPreempted  = submod.StopPreempted
 )
+
+// ErrPreempted is the cancellation cause that classifies a stop as
+// StopPreempted; schedulers cancel a run's context with it (or use
+// WithPreemptSignal, which does so at round boundaries only).
+var ErrPreempted = submod.ErrPreempted
 
 // Telemetry is the per-run accounting carried by every Result.
 type Telemetry = core.Telemetry
@@ -97,6 +103,7 @@ type config struct {
 	memoOpts    []memo.Option
 	resume      *Checkpoint
 	warmOracle  bool
+	preempt     func() bool
 }
 
 // Option configures a Session (defaults for every call) or a single
@@ -159,6 +166,51 @@ func WithExtendedOps(on bool) Option {
 // fewer calls.
 func WithWarmOracle(on bool) Option {
 	return func(c *config) { c.warmOracle = on }
+}
+
+// WithPreemptSignal installs a scheduler's suspend signal: it is polled
+// after every completed greedy round, and when it returns true the run
+// stops at that round boundary with Telemetry.Stopped == StopPreempted
+// and (for a resumable lazy strategy) a Checkpoint that WithResume
+// continues bit-identically. Because the poll happens only between
+// rounds, the suspended segments' telemetry is conserving: summing each
+// segment's oracle work (MergeSegments) equals an unpreempted run's.
+func WithPreemptSignal(fn func() bool) Option {
+	return func(c *config) { c.preempt = fn }
+}
+
+// MergeSegments folds the per-segment telemetry of a preempted-and-resumed
+// run into the telemetry an unpreempted run would have reported: additive
+// counters (oracle calls, bestCost work, cache traffic, phase times) sum
+// across segments, while the scan-cumulative counters (Rounds, Pruned,
+// Stale, Reused — a resumed segment continues its predecessor's counts)
+// and the stop reason come from the final segment. An empty slice returns
+// a zero Telemetry.
+func MergeSegments(segs []Telemetry) Telemetry {
+	var out Telemetry
+	for i, t := range segs {
+		out.OracleCalls += t.OracleCalls
+		out.BCCalls += t.BCCalls
+		out.CacheHits += t.CacheHits
+		out.SharedHits += t.SharedHits
+		out.ComputedKeys += t.ComputedKeys
+		out.SharedOracleHits += t.SharedOracleHits
+		out.SetupTime += t.SetupTime
+		out.SearchTime += t.SearchTime
+		out.FinalizeTime += t.FinalizeTime
+		out.TotalTime += t.TotalTime
+		if i == len(segs)-1 {
+			out.Rounds = t.Rounds
+			out.Pruned = t.Pruned
+			out.Stale = t.Stale
+			out.Reused = t.Reused
+			out.Stopped = t.Stopped
+		}
+	}
+	if n := out.CacheHits + out.SharedHits + out.ComputedKeys; n > 0 {
+		out.CacheHitRate = float64(out.CacheHits+out.SharedHits) / float64(n)
+	}
+	return out
 }
 
 // WithMemoOptions forwards DAG-construction options (rule ablations) to
@@ -386,10 +438,11 @@ func (s *Session) runBatch(ctx context.Context, batch *logical.Batch, cfg config
 	}
 
 	cc := core.Config{
-		TimeBudget:  cfg.timeBudget,
-		Progress:    cfg.progress,
-		Parallelism: cfg.parallelism,
-		WarmOracle:  cfg.warmOracle || s.warmed.Load(),
+		TimeBudget:    cfg.timeBudget,
+		Progress:      cfg.progress,
+		Parallelism:   cfg.parallelism,
+		WarmOracle:    cfg.warmOracle || s.warmed.Load(),
+		PreemptSignal: cfg.preempt,
 	}
 	if cfg.hasBudget {
 		cc = cc.LimitOracleCalls(cfg.callBudget)

@@ -214,6 +214,38 @@ func BenchmarkWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkloadSkew sweeps the generator's hot-group concentration
+// knob at a fixed batch size: higher skew funnels the greedy scan into
+// few combined-DAG groups and drives many distinct materialization masks
+// through their L1 cost buckets — the adversarial access pattern for the
+// flat open-addressed cache (eviction pressure concentrates instead of
+// spreading). bc_calls stays deterministic per skew point, so the gate
+// can track the cache under pressure exactly like the uniform grid.
+func BenchmarkWorkloadSkew(b *testing.B) {
+	cat := tpcd.Catalog(1)
+	for _, skew := range []float64{0, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("64x%g", skew), func(b *testing.B) {
+			spec := workload.DefaultSpec(64, 0.25)
+			spec.Skew = skew
+			batch := workload.MustGenerate(spec)
+			var res core.Result
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt, err := volcano.NewOptimizer(cat, cost.Default(), batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = core.Run(opt, core.MarginalGreedy)
+			}
+			b.StopTimer()
+			b.ReportMetric(res.Cost/1000, "cost_s")
+			b.ReportMetric(float64(len(res.Materialized)), "materialized")
+			b.ReportMetric(float64(res.OracleCalls), "bc_calls")
+		})
+	}
+}
+
 // BenchmarkWorkloadDAGBuild isolates combined-DAG construction and
 // expansion for the generated batches — the component the stress grid
 // tracks separately from optimization.

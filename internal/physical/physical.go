@@ -44,13 +44,45 @@
 // # Cross-call caching
 //
 // The Section 5.1 incremental cache is keyed by the pure value
-// {group, order id, compute, mask hash} and layered: each worker owns a
-// lock-free private L1 — bucketed by (group, order) slot, keyed inside
-// the bucket by the 8-byte mask hash, with a 1-entry direct-mapped front
-// per slot that exploits the mask locality of consecutive greedy
-// candidates — and an optionally attached SharedCache is the lock-striped
-// L2 whose hits are promoted into the L1. Fresh values are published to
-// the L2 in bulk (PublishCache), never from the evaluation hot path.
+// {group, order id, compute, mask hash}. Every cached cost is a pure
+// function of that key, which is the load-bearing invariant of the whole
+// hierarchy: a hit, a miss, an eviction or a lost publish can only ever
+// change how often a value is recomputed, never what it is — so results
+// are bit-identical under any cache behavior, and the oracle-call count
+// (bc_calls) is deterministic because it is counted at the oracle entry
+// point, above every cache level.
+//
+// The hierarchy a lookup walks, fastest first:
+//
+//  1. Front cache: one direct-mapped l1Front cell per (group, order)
+//     slot holding the last (mask, cost) the slot served — consecutive
+//     greedy candidates mostly re-ask the same mask. Liveness is an
+//     explicit epoch stamp (live iff ep == the worker's l1Epoch); no
+//     mask value is reserved as an "empty" sentinel, so a real all-ones
+//     mask hash round-trips (the retired sentinel scheme mis-served the
+//     zero value for it on a cold slot).
+//  2. Flat L1: per-slot open-addressed probe arrays (l1Bucket, lazily
+//     allocated) of inline (mask, value) pairs — fixed power-of-two
+//     capacity, linear probing from a Fibonacci home position, a 1-byte
+//     tag per position so a probe compares bytes in one cache line and
+//     touches a 16-byte entry only on a tag match. Occupancy is an
+//     explicit bitmap word; the probe length is derived from it up
+//     front. At the fill bound (3/4 load) a store evicts the occupant
+//     of its home position instead of growing — bounded memory, and the
+//     probing invariant survives because the new key rests at its exact
+//     home. resetL1 clears every bucket and front cell in O(1) by
+//     bumping the worker's l1Epoch; backing arrays are reused, and a
+//     stale bucket self-clears on its next store.
+//  3. SharedCache L2: the optionally attached, lock-striped cross-worker
+//     tier. The hot path never locks it on store — fresh values go only
+//     to the L1 and PublishCache drains them into the L2 in bulk; an L2
+//     hit (including a key the L1 evicted after an earlier publish) is
+//     promoted back into the L1 and front, paying its read lock at most
+//     once per worker. Shard capacity is enforced per merge: a shard
+//     over cap is reset at most once, before the batch's writes, so one
+//     publish can never evict its own entries (the old per-entry reset
+//     kept only the tail of a batch at or over cap).
+//
 // repro.Session owns one SharedCache per session, so identical batches
 // start warm; entries are namespaced by the searcher's structural
 // fingerprint and operator flags, which is why ClearCache only resets the
@@ -422,6 +454,139 @@ func (s *Searcher) fillDepth(g memo.GroupID) int32 {
 // order materialization steps so dependencies are computed first.
 func (s *Searcher) depth(g memo.GroupID) int { return int(s.depths[g]) }
 
+// l1BucketBits sizes the per-(group,order) flat L1 buckets: each bucket
+// is a fixed-capacity power-of-two probe array of 1<<l1BucketBits
+// (mask, value) pairs stored inline, so its occupancy fits one uint64
+// bitmap word.
+const l1BucketBits = 6
+
+// l1BucketCap is the bucket capacity (entries per probe array).
+const l1BucketCap = 1 << l1BucketBits
+
+// l1MaxFill bounds the distinct masks a bucket holds (3/4 load): linear
+// probes therefore always terminate at an empty position, and lookup
+// chains stay short even in the hottest buckets. A store into a bucket
+// at the fill bound evicts deterministically instead of claiming a new
+// position; the evicted key falls back to the SharedCache L2 (or a
+// recomputation) — see l1Bucket.store.
+const l1MaxFill = l1BucketCap * 3 / 4
+
+// epVal is one per-call scratch memo cell: a cost stamped with the call
+// epoch that wrote it, adjacent in memory so a memo hit touches one
+// cache line.
+type epVal struct {
+	ep  uint32
+	val float64
+}
+
+// l1Front is one direct-mapped front-cache cell: the last (mask hash,
+// cost) pair its slot served, live iff ep matches the worker's L1 epoch.
+// One struct load replaces the three parallel-array touches the front
+// check used to cost.
+type l1Front struct {
+	mask uint64
+	val  float64
+	ep   uint32
+}
+
+// l1Entry is one inline (mask hash, cost) pair of a flat L1 bucket.
+type l1Entry struct {
+	mask uint64
+	val  float64
+}
+
+// l1Bucket is the flat open-addressed cross-call cache of one (group,
+// order) slot. Occupancy is explicit — bit j of occ marks entries[j]
+// live — so every 64-bit mask hash, including ^uint64(0), round-trips
+// exactly (the previous map layout's companion front cache used an
+// all-ones sentinel for "empty", which silently mis-cached a real
+// all-ones mask hash). ep stamps the occupancy with the worker's L1
+// epoch: resetL1 bumps the epoch in O(1) and a stale bucket lazily
+// self-clears on its next store, reusing its backing array.
+type l1Bucket struct {
+	ep      uint32
+	occ     uint64
+	tags    [l1BucketCap]uint8
+	entries [l1BucketCap]l1Entry
+}
+
+// l1Home is the probe start position for a mask hash: the top bucket
+// bits of a Fibonacci remix (the mask is itself a hash, but its top
+// bits must be independent of the SharedCache's shard choice).
+func l1Home(mask uint64) int {
+	return int((mask * 0x9e3779b97f4a7c15) >> (64 - l1BucketBits))
+}
+
+// l1Tag is the 1-byte probe filter for a mask hash: the next 8 bits of
+// the same remix below the home bits. During a probe the tag bytes —
+// all of them in one cache line — are compared first, so the 16-byte
+// entries are only loaded on a tag match (false positive rate 2^-8 per
+// occupied position). Tags carry no occupancy information: occ alone
+// decides liveness, so a stale tag after an epoch clear is never read.
+func l1Tag(mask uint64) uint8 {
+	return uint8((mask * 0x9e3779b97f4a7c15) >> (56 - l1BucketBits))
+}
+
+// lookup probes for a mask with linear probing from its home position,
+// stopping at the first empty position. The probe-run length is taken
+// from the occupancy word up front (rotate the free bitmap so the home
+// lands on bit 0; the first set bit is the first empty position), so
+// the loop itself tests only tag bytes. The caller has checked that the
+// bucket's epoch is current.
+func (b *l1Bucket) lookup(mask uint64) (float64, bool) {
+	h := l1Home(mask)
+	d := bits.TrailingZeros64(bits.RotateLeft64(^b.occ, -h))
+	tag := l1Tag(mask)
+	for i := 0; i < d; i++ {
+		j := (h + i) & (l1BucketCap - 1)
+		if b.tags[j] == tag && b.entries[j].mask == mask {
+			return b.entries[j].val, true
+		}
+	}
+	return 0, false
+}
+
+// store inserts or overwrites a (mask, value) pair. A bucket whose epoch
+// is stale self-clears first (O(1): drop the occupancy bitmap). At the
+// fill bound the probe array is "full": the pair deterministically
+// replaces the entry at its home position — the linear-probing invariant
+// survives because the new key rests exactly at its own home, and the
+// evicted key simply misses from then on, falling back to the
+// SharedCache L2 (if it was published) or to recomputation. Values are
+// pure functions of their key, so eviction can never change a cost.
+func (b *l1Bucket) store(epoch uint32, mask uint64, v float64) {
+	if b.ep != epoch {
+		b.ep = epoch
+		b.occ = 0
+	}
+	h := l1Home(mask)
+	tag := l1Tag(mask)
+	full := bits.OnesCount64(b.occ) >= l1MaxFill
+	for i := 0; i < l1BucketCap; i++ {
+		j := (h + i) & (l1BucketCap - 1)
+		if b.occ&(1<<uint(j)) == 0 {
+			if full {
+				break
+			}
+			b.occ |= 1 << uint(j)
+			b.tags[j] = tag
+			b.entries[j] = l1Entry{mask: mask, val: v}
+			return
+		}
+		if b.tags[j] == tag && b.entries[j].mask == mask {
+			b.entries[j].val = v
+			return
+		}
+	}
+	// Eviction at the home position. The occupancy bit is set explicitly:
+	// past the fill bound the home may itself be empty (evictions land
+	// only on home positions), and a claimed-but-unmarked entry would be
+	// a lost store.
+	b.occ |= 1 << uint(h)
+	b.tags[h] = tag
+	b.entries[h] = l1Entry{mask: mask, val: v}
+}
+
 // worker is one evaluation context: per-call scratch tables plus a private
 // cross-call cache. Sequential entry points use worker 0; BestCostBatch
 // uses one worker per goroutine.
@@ -430,33 +595,34 @@ type worker struct {
 
 	// Private L1 cross-call cache. Entries are bucketed by the (group,
 	// order) slot — the same int(g)*numOrds+ord index the scratch tables
-	// use — and keyed inside the bucket by the 8-byte mask hash alone,
-	// which keeps every map small and its key cheap to hash. A 1-entry
-	// direct-mapped front cache per slot (mask1/val1) exploits the scan
-	// locality of greedy rounds: consecutive candidate sets leave most
-	// groups' mask restrictions untouched, so the common case is two
-	// loads and a compare instead of any map probe. Misses fall through
-	// to s.shared. (A single flat map[cacheKey]float64 was profiled at
-	// ~70% of optimization wall time on the 256-query workloads — large-
-	// map probing, 24-byte key hashing and growth rehashes — which this
-	// layout eliminates.)
-	useMask1  []uint64 // last-seen mask per slot; maskNone when empty
-	useVal1   []float64
-	compMask1 []uint64
-	compVal1  []float64
-	useL1     []map[uint64]float64 // per-slot mask -> use cost (lazily allocated)
-	compL1    []map[uint64]float64
+	// use — and keyed inside the bucket by the 8-byte mask hash alone.
+	// Each bucket is a flat open-addressed probe array (l1Bucket), lazily
+	// allocated on first store and cleared in place by epoch stamping, so
+	// a probe is a few adjacent inline loads instead of a runtime map
+	// access. A 1-entry direct-mapped front cache per slot (mask1/val1,
+	// live iff its epoch stamp ep1 is current) exploits the scan locality
+	// of greedy rounds: consecutive candidate sets leave most groups'
+	// mask restrictions untouched, so the common case is two loads and a
+	// compare before any probe. Misses fall through to s.shared. (A
+	// single flat map[cacheKey]float64 was profiled at ~70% of
+	// optimization wall time on the 256-query workloads, and the
+	// per-slot map[uint64]float64 buckets that replaced it still at ~25%
+	// — mapaccess2_fast64 hashing and probing — which this layout
+	// eliminates.)
+	l1Epoch   uint32    // current L1 generation; entries with other stamps are dead
+	useFront  []l1Front // front cache: last-seen (mask, cost) per slot
+	compFront []l1Front
+	useL1     []*l1Bucket // per-slot flat probe arrays (lazily allocated)
+	compL1    []*l1Bucket
 
 	ns          uint64 // SharedCache namespace for the current call's flags
 	sharedEpoch uint64 // SharedCache epoch the L1 was filled under
 
 	epoch     uint32
 	bits      memo.Bitset // current materialization set
-	useVal    []float64   // (group, ord) -> use cost
-	useEp     []uint32
-	compVal   []float64 // (group, ord) -> compute cost
-	compEp    []uint32
-	storedOrd []ordID // delivered order of each materialization
+	useMemo   []epVal     // (group, ord) -> use cost, epoch-stamped
+	compMemo  []epVal     // (group, ord) -> compute cost, epoch-stamped
+	storedOrd []ordID     // delivered order of each materialization
 	storedEp  []uint32
 	mhVal     []uint64 // mask-hash per group
 	mhEp      []uint32
@@ -465,43 +631,54 @@ type worker struct {
 	bcCalls, cacheHits, sharedHits, computedKey, extractCalls int
 }
 
-// maskNone marks an empty front-cache slot. A real mask hash colliding
-// with it is as unlikely as any other 64-bit mask-hash collision, which
-// the Section 5.1 cache already accepts.
-const maskNone = ^uint64(0)
-
 func (s *Searcher) newWorker() *worker {
 	n := s.M.NumGroups()
+	slots := n * s.numOrds
 	w := &worker{
 		s:         s,
+		l1Epoch:   1,
+		useFront:  make([]l1Front, slots),
+		compFront: make([]l1Front, slots),
+		useL1:     make([]*l1Bucket, slots),
+		compL1:    make([]*l1Bucket, slots),
 		bits:      s.SI.NewMatSet(),
-		useVal:    make([]float64, n*s.numOrds),
-		useEp:     make([]uint32, n*s.numOrds),
-		compVal:   make([]float64, n*s.numOrds),
-		compEp:    make([]uint32, n*s.numOrds),
+		useMemo:   make([]epVal, slots),
+		compMemo:  make([]epVal, slots),
 		storedOrd: make([]ordID, n),
 		storedEp:  make([]uint32, n),
 		mhVal:     make([]uint64, n),
 		mhEp:      make([]uint32, n),
 		matIDs:    make([]memo.GroupID, 0, 64),
 	}
-	w.resetL1()
 	return w
 }
 
-// resetL1 drops the worker's private cross-call cache.
+// resetL1 drops the worker's private cross-call cache in O(1) by bumping
+// the L1 epoch: front-cache slots and buckets stamped with an older
+// generation read as empty, and every backing array is reused in place —
+// no reallocation, however often a SharedCache epoch bump or an explicit
+// ClearCache lands.
 func (w *worker) resetL1() {
-	n := w.s.M.NumGroups() * w.s.numOrds
-	w.useMask1 = make([]uint64, n)
-	w.useVal1 = make([]float64, n)
-	w.compMask1 = make([]uint64, n)
-	w.compVal1 = make([]float64, n)
-	for i := range w.useMask1 {
-		w.useMask1[i] = maskNone
-		w.compMask1[i] = maskNone
+	w.l1Epoch++
+	if w.l1Epoch == 0 { // wrapped: stamps are ambiguous, hard-reset
+		for i := range w.useFront {
+			w.useFront[i].ep = 0
+			w.compFront[i].ep = 0
+		}
+		for _, b := range w.useL1 {
+			if b != nil {
+				b.ep = 0
+				b.occ = 0
+			}
+		}
+		for _, b := range w.compL1 {
+			if b != nil {
+				b.ep = 0
+				b.occ = 0
+			}
+		}
+		w.l1Epoch = 1
 	}
-	w.useL1 = make([]map[uint64]float64, n)
-	w.compL1 = make([]map[uint64]float64, n)
 }
 
 // syncShared refreshes the worker's view of the attached SharedCache: the
@@ -525,15 +702,17 @@ func (w *worker) syncShared() {
 // only to the L1 — PublishCache merges them into the SharedCache in bulk,
 // keeping the hot path free of per-key locking.
 func (w *worker) cachedUse(g memo.GroupID, ord ordID, idx int, mask uint64) (float64, bool) {
-	if w.useMask1[idx] == mask {
+	f := &w.useFront[idx]
+	if f.ep == w.l1Epoch && f.mask == mask {
 		w.cacheHits++
-		return w.useVal1[idx], true
+		return f.val, true
 	}
-	if v, ok := w.useL1[idx][mask]; ok {
-		w.cacheHits++
-		w.useMask1[idx] = mask
-		w.useVal1[idx] = v
-		return v, true
+	if b := w.useL1[idx]; b != nil && b.ep == w.l1Epoch {
+		if v, ok := b.lookup(mask); ok {
+			w.cacheHits++
+			*f = l1Front{mask: mask, val: v, ep: w.l1Epoch}
+			return v, true
+		}
 	}
 	if sh := w.s.shared; sh != nil {
 		if v, ok := sh.get(w.ns, cacheKey{g: g, ord: ord, compute: false, mask: mask}); ok {
@@ -546,27 +725,29 @@ func (w *worker) cachedUse(g memo.GroupID, ord ordID, idx int, mask uint64) (flo
 }
 
 func (w *worker) storeUse(idx int, mask uint64, v float64) {
-	w.useMask1[idx] = mask
-	w.useVal1[idx] = v
-	m := w.useL1[idx]
-	if m == nil {
-		m = make(map[uint64]float64, 4)
-		w.useL1[idx] = m
+	w.useFront[idx] = l1Front{mask: mask, val: v, ep: w.l1Epoch}
+	b := w.useL1[idx]
+	if b == nil {
+		b = new(l1Bucket)
+		b.ep = w.l1Epoch
+		w.useL1[idx] = b
 	}
-	m[mask] = v
+	b.store(w.l1Epoch, mask, v)
 }
 
 // cachedComp is cachedUse for compute-cost keys.
 func (w *worker) cachedComp(g memo.GroupID, ord ordID, idx int, mask uint64) (float64, bool) {
-	if w.compMask1[idx] == mask {
+	f := &w.compFront[idx]
+	if f.ep == w.l1Epoch && f.mask == mask {
 		w.cacheHits++
-		return w.compVal1[idx], true
+		return f.val, true
 	}
-	if v, ok := w.compL1[idx][mask]; ok {
-		w.cacheHits++
-		w.compMask1[idx] = mask
-		w.compVal1[idx] = v
-		return v, true
+	if b := w.compL1[idx]; b != nil && b.ep == w.l1Epoch {
+		if v, ok := b.lookup(mask); ok {
+			w.cacheHits++
+			*f = l1Front{mask: mask, val: v, ep: w.l1Epoch}
+			return v, true
+		}
 	}
 	if sh := w.s.shared; sh != nil {
 		if v, ok := sh.get(w.ns, cacheKey{g: g, ord: ord, compute: true, mask: mask}); ok {
@@ -579,14 +760,14 @@ func (w *worker) cachedComp(g memo.GroupID, ord ordID, idx int, mask uint64) (fl
 }
 
 func (w *worker) storeComp(idx int, mask uint64, v float64) {
-	w.compMask1[idx] = mask
-	w.compVal1[idx] = v
-	m := w.compL1[idx]
-	if m == nil {
-		m = make(map[uint64]float64, 4)
-		w.compL1[idx] = m
+	w.compFront[idx] = l1Front{mask: mask, val: v, ep: w.l1Epoch}
+	b := w.compL1[idx]
+	if b == nil {
+		b = new(l1Bucket)
+		b.ep = w.l1Epoch
+		w.compL1[idx] = b
 	}
-	m[mask] = v
+	b.store(w.l1Epoch, mask, v)
 }
 
 // worker returns the i-th worker, growing the pool on demand.
@@ -616,9 +797,9 @@ func (w *worker) initCall(mat memo.Bitset) {
 	w.syncShared()
 	w.epoch++
 	if w.epoch == 0 { // wrapped: stamps are ambiguous, hard-reset
-		for i := range w.useEp {
-			w.useEp[i] = 0
-			w.compEp[i] = 0
+		for i := range w.useMemo {
+			w.useMemo[i].ep = 0
+			w.compMemo[i].ep = 0
 		}
 		for i := range w.storedEp {
 			w.storedEp[i] = 0
@@ -857,19 +1038,29 @@ func (s *Searcher) BestUseCost(mat NodeSet) float64 {
 }
 
 // useCost returns the cheapest way for a consumer to obtain the group's
-// result in the required order.
+// result in the required order. The per-call memo check lives in this
+// tiny wrapper so it inlines into the pricing loops — the oracle resolves
+// the overwhelming majority of useCost calls from the scratch table, and
+// a full call frame per memo hit is measurable at workload scale.
 func (w *worker) useCost(g memo.GroupID, ord ordID) float64 {
+	m := &w.useMemo[int(g)*w.s.numOrds+int(ord)]
+	if m.ep == w.epoch {
+		return m.val
+	}
+	return w.useCostMiss(g, ord, m)
+}
+
+// useCostMiss is useCost's slow path: consult the cross-call cache, else
+// price the group fresh under the current materialization set.
+func (w *worker) useCostMiss(g memo.GroupID, ord ordID, m *epVal) float64 {
 	s := w.s
 	idx := int(g)*s.numOrds + int(ord)
-	if w.useEp[idx] == w.epoch {
-		return w.useVal[idx]
-	}
 	var mask uint64
 	if s.Incremental {
 		mask = w.maskHash(g)
 		if v, ok := w.cachedUse(g, ord, idx, mask); ok {
-			w.useVal[idx] = v
-			w.useEp[idx] = w.epoch
+			m.val = v
+			m.ep = w.epoch
 			return v
 		}
 	}
@@ -879,8 +1070,8 @@ func (w *worker) useCost(g memo.GroupID, ord ordID) float64 {
 			v = alt
 		}
 	}
-	w.useVal[idx] = v
-	w.useEp[idx] = w.epoch
+	m.val = v
+	m.ep = w.epoch
 	if s.Incremental {
 		w.storeUse(idx, mask, v)
 	}
@@ -904,20 +1095,27 @@ func (w *worker) matUseCost(g memo.GroupID, ord ordID) (cost float64, needSort b
 
 // compute returns the cheapest plan that computes the group from its
 // inputs (ignoring a materialized copy of the group itself) in the
-// required order.
+// required order. Like useCost, the memo check inlines at call sites.
 func (w *worker) compute(g memo.GroupID, ord ordID) float64 {
+	m := &w.compMemo[int(g)*w.s.numOrds+int(ord)]
+	if m.ep == w.epoch {
+		return m.val
+	}
+	return w.computeMiss(g, ord, m)
+}
+
+// computeMiss is compute's slow path: cross-call cache, then a fresh
+// pass over the group's implementation templates.
+func (w *worker) computeMiss(g memo.GroupID, ord ordID, m *epVal) float64 {
 	s := w.s
 	idx := int(g)*s.numOrds + int(ord)
-	if w.compEp[idx] == w.epoch {
-		return w.compVal[idx]
-	}
-	w.compVal[idx] = inf // guard against accidental cycles
-	w.compEp[idx] = w.epoch
+	m.val = inf // guard against accidental cycles
+	m.ep = w.epoch
 	var mask uint64
 	if s.Incremental {
 		mask = w.maskHash(g)
 		if v, ok := w.cachedComp(g, ord, idx, mask); ok {
-			w.compVal[idx] = v
+			m.val = v
 			return v
 		}
 	}
@@ -934,7 +1132,7 @@ func (w *worker) compute(g memo.GroupID, ord ordID) float64 {
 			best = v
 		}
 	}
-	w.compVal[idx] = best
+	m.val = best
 	if s.Incremental {
 		w.storeComp(idx, mask, best)
 	}
@@ -952,15 +1150,31 @@ func (w *worker) price(t *tmpl, ord ordID) (cost float64, out ordID, ok bool) {
 	if t.extended && !s.ExtendedOps {
 		return 0, 0, false
 	}
+	// The child lookups are the oracle's innermost edge: the per-call memo
+	// check is written out by hand because useCost's call frame exceeds
+	// the inlining budget, and the overwhelming majority of child lookups
+	// are memo hits.
 	if t.passthrough {
 		// Order-preserving filter: forward the requirement.
-		return w.useCost(t.child[0].g, ord) + t.local, ord, true
+		g := t.child[0].g
+		m := &w.useMemo[int(g)*s.numOrds+int(ord)]
+		if m.ep == w.epoch {
+			return m.val + t.local, ord, true
+		}
+		return w.useCostMiss(g, ord, m) + t.local, ord, true
 	}
 	if !s.sat[t.out][ord] {
 		return 0, 0, false
 	}
+	ep := w.epoch
 	for ci := uint8(0); ci < t.nchild; ci++ {
-		cost += w.useCost(t.child[ci].g, t.child[ci].ord)
+		c := &t.child[ci]
+		m := &w.useMemo[int(c.g)*s.numOrds+int(c.ord)]
+		if m.ep == ep {
+			cost += m.val
+		} else {
+			cost += w.useCostMiss(c.g, c.ord, m)
+		}
 	}
 	lc := t.local
 	if t.matGate >= 0 && !w.matHas(t.matGate) {

@@ -2,6 +2,7 @@ package physical
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -155,8 +156,15 @@ type sharedKV struct {
 }
 
 // merge bulk-publishes entries under one namespace, acquiring each shard
-// lock once. A shard that would exceed its cap is reset and relearned —
-// values are pure, so eviction only costs recomputation.
+// lock once. A shard that cannot absorb its share of the batch under the
+// cap is reset — at most once per merge, before any of the batch's
+// entries are written — and relearned, so a publish's own learning
+// always survives its merge, however large the batch. (Resetting inside
+// the write loop, as this used to, kept only the batch's tail and wiped
+// every other namespace's entries on each wrap.) Values are pure
+// functions of their key, so eviction only ever costs recomputation; a
+// shard briefly exceeds the cap only when one merge's own bucket is
+// larger than the cap itself.
 func (c *SharedCache) merge(ns uint64, kvs []sharedKV) {
 	ep := c.epoch.Load()
 	buckets := make([][]sharedKV, sharedCacheShards)
@@ -170,10 +178,10 @@ func (c *SharedCache) merge(ns uint64, kvs []sharedKV) {
 		}
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		if len(sh.m)+len(b) > sharedShardCap {
+			sh.m = make(map[sharedKey]sharedEntry, len(b))
+		}
 		for _, e := range b {
-			if len(sh.m) >= sharedShardCap {
-				sh.m = make(map[sharedKey]sharedEntry)
-			}
 			sh.m[sharedKey{ns: ns, k: e.k}] = sharedEntry{v: e.v, epoch: ep}
 		}
 		sh.mu.Unlock()
@@ -302,20 +310,24 @@ func (s *Searcher) PublishCache() {
 	ns := s.cacheNS()
 	for _, w := range s.workers {
 		var kvs []sharedKV
-		for idx, m := range w.useL1 {
-			g := memo.GroupID(idx / s.numOrds)
-			ord := ordID(idx % s.numOrds)
-			for mask, v := range m {
-				kvs = append(kvs, sharedKV{k: cacheKey{g: g, ord: ord, compute: false, mask: mask}, v: v})
+		drain := func(buckets []*l1Bucket, compute bool) {
+			for idx, b := range buckets {
+				if b == nil || b.ep != w.l1Epoch || b.occ == 0 {
+					continue
+				}
+				g := memo.GroupID(idx / s.numOrds)
+				ord := ordID(idx % s.numOrds)
+				occ := b.occ
+				for occ != 0 {
+					j := bits.TrailingZeros64(occ)
+					occ &= occ - 1
+					e := &b.entries[j]
+					kvs = append(kvs, sharedKV{k: cacheKey{g: g, ord: ord, compute: compute, mask: e.mask}, v: e.val})
+				}
 			}
 		}
-		for idx, m := range w.compL1 {
-			g := memo.GroupID(idx / s.numOrds)
-			ord := ordID(idx % s.numOrds)
-			for mask, v := range m {
-				kvs = append(kvs, sharedKV{k: cacheKey{g: g, ord: ord, compute: true, mask: mask}, v: v})
-			}
-		}
+		drain(w.useL1, false)
+		drain(w.compL1, true)
 		if len(kvs) > 0 {
 			s.shared.merge(ns, kvs)
 		}

@@ -120,6 +120,78 @@ func TestSharedCacheConcurrentSearchers(t *testing.T) {
 	}
 }
 
+// TestSharedCacheMergeCapKeepsBatch is the shard-cap eviction regression
+// test: one bulk publish larger than a shard's cap must come out of the
+// merge with every one of its own keys readable. The old merge reset the
+// shard map inside the per-entry write loop whenever the cap was hit, so
+// a batch ≥ the cap kept only its tail — entries written earlier in the
+// same publish were silently discarded.
+func TestSharedCacheMergeCapKeepsBatch(t *testing.T) {
+	c := NewSharedCache()
+	const ns = uint64(0xabcdef)
+	// Collect sharedShardCap+64 keys that all land in one shard, so the
+	// merge's own bucket exceeds the cap.
+	var kvs []sharedKV
+	var shard uint64
+	for mask := uint64(0); len(kvs) < sharedShardCap+64; mask++ {
+		k := cacheKey{g: 1, ord: 2, mask: mask}
+		h := c.shardIndex(ns, k)
+		if len(kvs) == 0 {
+			shard = h
+		} else if h != shard {
+			continue
+		}
+		kvs = append(kvs, sharedKV{k: k, v: float64(mask) + 0.5})
+	}
+	c.merge(ns, kvs)
+	lost := 0
+	for _, e := range kvs {
+		v, ok := c.get(ns, e.k)
+		if !ok {
+			lost++
+			continue
+		}
+		if v != e.v {
+			t.Fatalf("key mask=%d came back %v, want %v", e.k.mask, v, e.v)
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("merge lost %d of its own %d entries (cap eviction ran mid-batch)", lost, len(kvs))
+	}
+}
+
+// TestSharedCacheMergeCapResetsAtMostOnce: consecutive merges that
+// overflow a shard must each survive intact — the reset happens before a
+// merge's writes, never between them — and the shard never holds more
+// than the larger of the cap and one merge's own bucket.
+func TestSharedCacheMergeCapResetsAtMostOnce(t *testing.T) {
+	c := NewSharedCache()
+	const ns = uint64(0x1717)
+	shard := c.shardIndex(ns, cacheKey{g: 3, ord: 1, mask: 0})
+	oneShard := func(n int, start uint64) []sharedKV {
+		var kvs []sharedKV
+		for mask := start; len(kvs) < n; mask++ {
+			k := cacheKey{g: 3, ord: 1, mask: mask}
+			if c.shardIndex(ns, k) != shard {
+				continue
+			}
+			kvs = append(kvs, sharedKV{k: k, v: float64(mask)})
+		}
+		return kvs
+	}
+	a := oneShard(sharedShardCap/2, 0)
+	c.merge(ns, a)
+	// A second merge into the same shard pushes past the cap: it may
+	// evict the first batch wholesale, but its own keys must all land.
+	b := oneShard(sharedShardCap, 1<<32)
+	c.merge(ns, b)
+	for _, e := range b {
+		if v, ok := c.get(ns, e.k); !ok || v != e.v {
+			t.Fatalf("second merge lost its own key mask=%d (got %v, %v)", e.k.mask, v, ok)
+		}
+	}
+}
+
 // errAfterCtx reports cancellation once Err has been consulted n times —
 // a deterministic mid-batch abort trigger for the sequential path.
 type errAfterCtx struct {

@@ -18,11 +18,12 @@ import (
 
 // bulkSpec is a batch big enough that its greedy run spans many round
 // boundaries — the preemption tests need the run still in flight when the
-// interactive request arrives.
+// interactive request arrives, even with the flat-L1 hot path making each
+// round substantially cheaper.
 func bulkSpec() workload.Spec {
 	s := testSpec()
 	s.Seed = 11
-	s.Queries = 64
+	s.Queries = 128
 	return s
 }
 

@@ -19,6 +19,7 @@ type specWire struct {
 	Sharing    float64 `json:"sharing"`
 	SelectFrac float64 `json:"select_frac"`
 	AggFrac    float64 `json:"agg_frac"`
+	Skew       float64 `json:"skew"`
 }
 
 // MarshalJSON renders the spec in its wire shape.
@@ -31,6 +32,7 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 		Sharing:    s.Sharing,
 		SelectFrac: s.SelectFrac,
 		AggFrac:    s.AggFrac,
+		Skew:       s.Skew,
 	})
 }
 
@@ -58,6 +60,7 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 		Sharing:    w.Sharing,
 		SelectFrac: w.SelectFrac,
 		AggFrac:    w.AggFrac,
+		Skew:       w.Skew,
 	}
 	return nil
 }

@@ -127,6 +127,16 @@ type Spec struct {
 	// AggFrac in [0,1] is the probability that a query is topped by a
 	// group-by aggregation.
 	AggFrac float64
+	// Skew in [0,1] is the probability that a query is "hot": generated
+	// from the batch's one hot template (the star shape at this spec's
+	// fan-out) with every non-variant filter drawn deterministically from
+	// the shared pool, so hot queries unify into the same combined-DAG
+	// groups and differ only in their variant constant. High skew is the
+	// adversarial case for per-(group, order) cost caches — the greedy
+	// scan concentrates on few hot groups and drives many distinct
+	// materialization masks into their buckets. 0 (the default) disables
+	// the knob and generates byte-identical batches to earlier versions.
+	Skew float64
 }
 
 // DefaultSpec returns the spec the stress benchmarks use: star-dominated
@@ -161,7 +171,7 @@ func (s Spec) Validate() error {
 	for _, f := range []struct {
 		name string
 		v    float64
-	}{{"Sharing", s.Sharing}, {"SelectFrac", s.SelectFrac}, {"AggFrac", s.AggFrac}} {
+	}{{"Sharing", s.Sharing}, {"SelectFrac", s.SelectFrac}, {"AggFrac", s.AggFrac}, {"Skew", s.Skew}} {
 		if math.IsNaN(f.v) || f.v < 0 || f.v > 1 {
 			return fmt.Errorf("workload: %s must be in [0,1], got %v", f.name, f.v)
 		}
@@ -260,6 +270,14 @@ func Generate(spec Spec) (*logical.Batch, error) {
 	batch := &logical.Batch{}
 	for qi := 0; qi < spec.Queries; qi++ {
 		shape := spec.queryShape(qi)
+		// The skew draw happens only when the knob is on, so Skew=0 leaves
+		// the generator's random stream — and therefore every previously
+		// generated batch — byte-identical.
+		hot := false
+		if spec.Skew > 0 && rng.Float64() < spec.Skew {
+			hot = true
+			shape = Star
+		}
 		steps := stepsFor(shape, spec.FanOut)
 
 		bb := logical.NewBlock()
@@ -300,6 +318,13 @@ func Generate(spec Spec) (*logical.Batch, error) {
 			case si == vi:
 				fc := rangeFilter(fcs)
 				bb.Cmp(st.Alias+"."+fc.Column, opFor(fc), constant(fc, variantFrac(qi, spec.Queries)))
+			case hot:
+				// Hot queries filter every filterable scan with the shared
+				// constant of the table's first filter column — no random
+				// draws — so the whole non-variant subtree unifies across
+				// the hot cohort.
+				fc := fcs[0]
+				bb.Cmp(st.Alias+"."+fc.Column, opFor(fc), shared[st.Table+"."+fc.Column])
 			case rng.Float64() < spec.SelectFrac:
 				fc := fcs[rng.Intn(len(fcs))]
 				var v float64

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"testing"
 
@@ -187,6 +189,69 @@ func TestWorkloadParitySerialBatched(t *testing.T) {
 			t.Errorf("%s: serial materializations %v != batched %v",
 				strat, serial.Materialized, batched.Materialized)
 		}
+	}
+}
+
+// TestWorkloadSkewDeterminism: the skew knob must keep generation
+// deterministic — same spec, same batch — while actually changing the
+// batch relative to Skew=0, and skewed batches must still be valid and
+// pairwise distinct (the variant constant keeps the hot cohort apart).
+func TestWorkloadSkewDeterminism(t *testing.T) {
+	spec := DefaultSpec(24, 0.5)
+	spec.Skew = 0.8
+	a := Fingerprint(MustGenerate(spec))
+	if b := Fingerprint(MustGenerate(spec)); a != b {
+		t.Fatal("skewed generations from one seed differ")
+	}
+	flat := spec
+	flat.Skew = 0
+	if Fingerprint(MustGenerate(flat)) == a {
+		t.Error("Skew=0.8 generated the same batch as Skew=0")
+	}
+	cat := tpcd.Catalog(1)
+	batch := MustGenerate(spec)
+	seen := map[string]bool{}
+	for _, q := range batch.Queries {
+		if err := q.Validate(cat); err != nil {
+			t.Errorf("skewed query %s invalid: %v", q.Name, err)
+		}
+		fp := Fingerprint(&logical.Batch{Queries: []*logical.Query{{Name: "", Root: q.Root}}})
+		if seen[fp] {
+			t.Errorf("skewed batch repeats query %s", q.Name)
+		}
+		seen[fp] = true
+	}
+}
+
+// TestWorkloadSkewConcentratesSharing: the knob exists to concentrate the
+// combined DAG — the hot cohort unifies into one template's groups, so a
+// fully skewed batch must compile to fewer groups than an unskewed one.
+func TestWorkloadSkewConcentratesSharing(t *testing.T) {
+	cat := tpcd.Catalog(1)
+	groups := func(skew float64) int {
+		spec := DefaultSpec(24, 0.5)
+		spec.Skew = skew
+		opt, err := volcano.NewOptimizer(cat, cost.Default(), MustGenerate(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return opt.Memo.NumGroups()
+	}
+	lo, hi := groups(0), groups(1)
+	if hi >= lo {
+		t.Errorf("full skew did not concentrate the DAG: %d groups at Skew=0, %d at Skew=1", lo, hi)
+	}
+}
+
+// TestWorkloadSkewZeroGolden pins the Skew=0 random stream: adding the
+// knob (or any future one) must leave previously generated batches
+// byte-identical. The digest was produced by the generator before the
+// Skew field existed.
+func TestWorkloadSkewZeroGolden(t *testing.T) {
+	const want = "4b24082210e0262488ebb01e79164601894fa3a0a2e6beffe5c70f63140e0eeb"
+	fp := sha256.Sum256([]byte(Fingerprint(MustGenerate(DefaultSpec(64, 0.25)))))
+	if got := hex.EncodeToString(fp[:]); got != want {
+		t.Fatalf("DefaultSpec(64, 0.25) fingerprint drifted:\n got %s\nwant %s", got, want)
 	}
 }
 
